@@ -1,0 +1,55 @@
+"""Figure 8 — the spilling heuristics across machine configurations:
+execution cycles (8a), dynamic memory traffic (8b) and scheduling
+effort / compile time (8c).
+
+Paper: with 64 registers there is almost no performance loss from
+spilling; with 32 the loss is visible but bounded.  Max(LT/Traf)
+generates noticeably less traffic than Max(LT) on most loop shapes.
+The two accelerations (multiple lifetimes per round, restart at the last
+II tried) cause only a small performance change while cutting scheduling
+time dramatically (the paper: from over an hour to about five minutes
+for the 32-register configurations).
+"""
+
+from repro.eval import run_fig8
+
+
+def test_fig8_heuristics(benchmark, suite, record):
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(suite=suite), rounds=1, iterations=1
+    )
+    record("fig8_heuristics", result.render())
+
+    rows = {
+        (row["config"], row["budget"], row["variant"]): row
+        for row in result.rows
+    }
+    configs = sorted({row["config"] for row in result.rows})
+    for config in configs:
+        ideal64 = rows[(config, 64, "ideal (infinite regs)")]["cycles"]
+        base64 = rows[(config, 64, "Max(LT/Traf)")]["cycles"]
+        # 8a: with 64 registers, spilling costs little performance.
+        assert base64 <= ideal64 * 1.35, (config, base64, ideal64)
+
+        for budget in (64, 32):
+            ideal = rows[(config, budget, "ideal (infinite regs)")]
+            for variant in (
+                "Max(LT)",
+                "Max(LT/Traf)",
+                "Max(LT/Traf)+mult",
+                "Max(LT/Traf)+mult+lastII",
+            ):
+                row = rows[(config, budget, variant)]
+                # Everything still executes (spilling converges).
+                assert row["failed"] <= len(suite) * 0.02, (config, variant)
+                # 8b: spill code only ever adds memory traffic.
+                assert row["traffic"] >= ideal["traffic"]
+
+            # 8c: the accelerations reduce scheduling effort vs the plain
+            # one-lifetime-per-reschedule driver.
+            slow = rows[(config, budget, "Max(LT/Traf)")]
+            fast = rows[(config, budget, "Max(LT/Traf)+mult+lastII")]
+            assert fast["placements"] <= slow["placements"]
+            assert fast["attempts"] <= slow["attempts"]
+            # ... at a bounded performance cost.
+            assert fast["cycles"] <= slow["cycles"] * 1.25

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the individual subsystems (proper multi-round
+pytest-benchmark timings): scheduler throughput, MII computation, lifetime
+analysis, register allocation, and one full spill pipeline.
+
+These quantify the compile-time story behind Figure 8c — where the
+scheduling time goes — and guard against performance regressions in the
+substrates.
+"""
+
+import pytest
+
+from repro import (
+    HRMSScheduler,
+    IMSScheduler,
+    SwingScheduler,
+    compute_mii,
+    ddg_from_source,
+    p2l4,
+    register_requirements,
+)
+from repro.core import schedule_with_spilling
+from repro.lifetimes import allocate_registers, max_live, variant_lifetimes
+from repro.workloads import NAMED_KERNELS, apsi47_like, apsi50_like
+
+MACHINE = p2l4()
+
+
+@pytest.fixture(scope="module")
+def fir8():
+    return ddg_from_source(NAMED_KERNELS["fir8"], name="fir8")
+
+
+@pytest.fixture(scope="module")
+def big_loop():
+    return apsi47_like()
+
+
+@pytest.mark.parametrize(
+    "scheduler_cls", [HRMSScheduler, IMSScheduler, SwingScheduler]
+)
+def test_scheduler_throughput(benchmark, scheduler_cls, fir8):
+    scheduler = scheduler_cls()
+    schedule = benchmark(lambda: scheduler.schedule(fir8, MACHINE))
+    schedule.validate()
+
+
+def test_mii_computation(benchmark, big_loop):
+    mii = benchmark(lambda: compute_mii(big_loop, MACHINE))
+    assert mii >= 1
+
+
+def test_lifetime_analysis(benchmark, big_loop):
+    schedule = HRMSScheduler().schedule(big_loop, MACHINE)
+    lifetimes = benchmark(lambda: variant_lifetimes(schedule))
+    assert lifetimes
+    assert max_live(schedule) > 0
+
+
+def test_register_allocation(benchmark, big_loop):
+    schedule = HRMSScheduler().schedule(big_loop, MACHINE)
+    allocation = benchmark(lambda: allocate_registers(schedule))
+    assert allocation.registers >= allocation.max_live
+
+
+def test_full_spill_pipeline(benchmark):
+    loop = apsi50_like()
+
+    def pipeline():
+        return schedule_with_spilling(loop, MACHINE, 32)
+
+    result = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert result.converged
+    assert register_requirements(result.schedule).fits(32)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The suite is built once per session at the size given by
+``REPRO_SUITE_SIZE`` (default 160; the paper's scale is 1258).  Rendered
+experiment reports are written to ``benchmarks/results/`` and echoed to
+stdout so a ``--benchmark-only`` run leaves the paper-style tables behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import perfect_club_like_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return perfect_club_like_suite()
+
+
+@pytest.fixture(scope="session")
+def record():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report written to {path}]")
+
+    return _record

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Comparing the paper's heuristics on a slice of the evaluation suite.
+
+A compact version of the paper's Figure 8/9 experiments: run the four
+spilling variants and the combined method over a deterministic sample of
+the suite on P2L4 with 32 registers, and report execution cycles, memory
+traffic and scheduling effort per heuristic — showing (i) Max(LT/Traf)
+beats Max(LT), (ii) the accelerations barely cost performance but slash
+scheduling work, (iii) best-of-all never loses.
+
+Run:  python examples/heuristics_comparison.py [suite_size]
+"""
+
+import sys
+
+from repro import HRMSScheduler, p2l4, register_requirements, schedule_best_of_both
+from repro.core import SelectionPolicy, schedule_with_spilling
+from repro.eval import executed_cycles, format_table, memory_traffic
+from repro.workloads import perfect_club_like_suite
+
+VARIANTS = [
+    ("Max(LT)", dict(policy=SelectionPolicy.MAX_LT, multiple=False, last_ii=False)),
+    ("Max(LT/Traf)", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=False, last_ii=False)),
+    ("  + multiple", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=False)),
+    ("  + last II", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=True)),
+]
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    machine = p2l4()
+    budget = 32
+    hrms = HRMSScheduler()
+    suite = perfect_club_like_suite(size=size)
+
+    needy = []
+    ideal_cycles = 0
+    for workload in suite:
+        schedule = hrms.schedule(workload.ddg, machine)
+        ideal_cycles += executed_cycles(schedule, workload.weight)
+        if not register_requirements(schedule).fits(budget):
+            needy.append(workload)
+    print(f"suite: {len(suite)} loops on {machine.name}/{budget} registers;"
+          f" {len(needy)} need register reduction")
+    print(f"ideal (infinite registers) total: {ideal_cycles:,} cycles\n")
+
+    rows = []
+    for label, options in VARIANTS:
+        cycles = traffic = placements = 0
+        for workload in suite:
+            schedule = hrms.schedule(workload.ddg, machine)
+            if register_requirements(schedule).fits(budget):
+                cycles += executed_cycles(schedule, workload.weight)
+                traffic += memory_traffic(workload.ddg, workload.weight)
+                continue
+            run = schedule_with_spilling(
+                workload.ddg, machine, budget, **options
+            )
+            placements += run.effort.placements
+            cycles += executed_cycles(run.schedule, workload.weight)
+            traffic += memory_traffic(run.ddg, workload.weight)
+        rows.append([label, cycles, traffic, placements])
+
+    cycles = traffic = 0
+    for workload in suite:
+        schedule = hrms.schedule(workload.ddg, machine)
+        if register_requirements(schedule).fits(budget):
+            cycles += executed_cycles(schedule, workload.weight)
+            traffic += memory_traffic(workload.ddg, workload.weight)
+            continue
+        combined = schedule_best_of_both(workload.ddg, machine, budget)
+        cycles += executed_cycles(combined.schedule, workload.weight)
+        traffic += memory_traffic(combined.ddg, workload.weight)
+    rows.append(["best of all", cycles, traffic, 0])
+
+    print(format_table(
+        ["heuristic", "cycles", "memory refs", "slot probes"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

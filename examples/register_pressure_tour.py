@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Why increasing the II cannot always work — a tour of register pressure.
+
+Takes the two loop archetypes of the paper's Section 3 (the APSI 47 / 50
+analogues) and shows, on P2L4:
+
+1. the registers-vs-II curve (paper Figure 4): the convergent loop creeps
+   down to any budget; the non-convergent one hits a floor made of
+   distance components and loop-invariants;
+2. the analytic non-convergence certificate (`distance_register_floor`);
+3. how spilling side-steps the floor by moving distance components to
+   memory (paper Figure 7).
+
+Run:  python examples/register_pressure_tour.py
+"""
+
+from repro import p2l4, schedule_increasing_ii, schedule_with_spilling
+from repro.core.increase_ii import distance_register_floor
+from repro.core.select import SelectionPolicy
+from repro.workloads import apsi47_like, apsi50_like
+
+
+def sparkline(values: list[int], lo: int, hi: int) -> str:
+    blocks = " .:-=+*#%@"
+    span = max(hi - lo, 1)
+    return "".join(
+        blocks[min(9, (value - lo) * 9 // span)] for value in values
+    )
+
+
+def main() -> None:
+    machine = p2l4()
+    for loop in (apsi47_like(), apsi50_like()):
+        print(f"=== {loop.name} ({len(loop)} operations) ===")
+        floor = distance_register_floor(loop)
+        print(f"distance/invariant register floor: {floor}")
+        sweep = schedule_increasing_ii(
+            loop, machine, available=1, patience=15, max_ii=90,
+            stop_on_certificate=False,
+        )
+        series = [regs for _, regs in sweep.trail]
+        first_ii = sweep.trail[0][0]
+        print(f"registers vs II (II={first_ii}..{sweep.trail[-1][0]}):")
+        print(f"  {sparkline(series, min(series), max(series))}"
+              f"  [{series[0]} -> {series[-1]}]")
+        for budget in (32, 16):
+            fitting = [ii for ii, regs in sweep.trail if regs <= budget]
+            if fitting:
+                print(f"  II increase reaches {budget} registers at"
+                      f" II={min(fitting)}"
+                      f" ({first_ii / min(fitting):.0%} of peak throughput)")
+            else:
+                print(f"  II increase NEVER reaches {budget} registers"
+                      f" (floor is {max(floor, min(series))})")
+            spill = schedule_with_spilling(
+                loop, machine, budget, policy=SelectionPolicy.MAX_LT_TRAF
+            )
+            print(f"  spilling reaches {budget} registers at"
+                  f" II={spill.final_ii} with {len(spill.spilled)} lifetimes"
+                  f" spilled, {spill.reschedules} reschedules")
+        print()
+
+
+if __name__ == "__main__":
+    main()

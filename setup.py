@@ -1,0 +1,8 @@
+"""Legacy setup shim: the environment's setuptools lacks the ``wheel``
+package PEP 660 editable installs need, so ``pip install -e .`` falls back
+to ``--no-use-pep517`` via this file.  All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

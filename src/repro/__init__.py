@@ -1,0 +1,100 @@
+"""repro — register-constrained software pipelining.
+
+A from-scratch reproduction of Llosa, Valero & Ayguadé, *Heuristics for
+Register-Constrained Software Pipelining* (MICRO-29, 1996): modulo
+scheduling with HRMS, register lifetime analysis on rotating register
+files, and the paper's iterative spilling framework for producing valid
+schedules under a fixed register budget.
+
+Quick tour::
+
+    from repro import (
+        ddg_from_source, p2l4, HRMSScheduler,
+        schedule_with_spilling, register_requirements,
+    )
+
+    loop = ddg_from_source("x[i] = y[i]*a + y[i-3]")
+    machine = p2l4()
+    plain = HRMSScheduler().schedule(loop, machine)
+    print(register_requirements(plain).total)
+
+    fitted = schedule_with_spilling(loop, machine, available=8)
+    print(fitted.final_ii, fitted.spilled)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.graph import DDG, build_ddg, ddg_from_source
+from repro.ir import parse_loop
+from repro.machine import (
+    MachineConfig,
+    generic_machine,
+    p1l4,
+    p2l4,
+    p2l6,
+    paper_configurations,
+)
+from repro.sched import (
+    HRMSScheduler,
+    IMSScheduler,
+    Schedule,
+    ScheduleError,
+    SwingScheduler,
+    compute_mii,
+    rec_mii,
+    reduce_stages,
+    res_mii,
+)
+from repro.lifetimes import (
+    allocate_registers,
+    max_live,
+    pressure_pattern,
+    register_requirements,
+    variant_lifetimes,
+)
+from repro.core import (
+    SelectionPolicy,
+    apply_spill,
+    schedule_best_of_both,
+    schedule_increasing_ii,
+    schedule_with_prescheduling_spill,
+    schedule_with_spilling,
+)
+from repro.codegen import emit_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDG",
+    "HRMSScheduler",
+    "IMSScheduler",
+    "MachineConfig",
+    "Schedule",
+    "ScheduleError",
+    "SelectionPolicy",
+    "SwingScheduler",
+    "allocate_registers",
+    "apply_spill",
+    "build_ddg",
+    "compute_mii",
+    "ddg_from_source",
+    "emit_loop",
+    "generic_machine",
+    "max_live",
+    "p1l4",
+    "p2l4",
+    "p2l6",
+    "paper_configurations",
+    "parse_loop",
+    "pressure_pattern",
+    "rec_mii",
+    "reduce_stages",
+    "register_requirements",
+    "res_mii",
+    "schedule_best_of_both",
+    "schedule_increasing_ii",
+    "schedule_with_prescheduling_spill",
+    "schedule_with_spilling",
+    "variant_lifetimes",
+]

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Compile a loop written in the mini language into a register-constrained
+software-pipelined schedule and inspect every intermediate artifact::
+
+    python -m repro compile loop.l --machine P2L4 --registers 32
+    python -m repro compile -e "x[i] = y[i]*a + y[i-3]" --show all
+    python -m repro mii -e "s = s + x[i]*y[i]" --machine P1L4
+    python -m repro suite --size 24 --registers 32
+
+Subcommands:
+
+* ``compile`` — schedule under a register budget using the paper's
+  methods (``--method spill`` is Figure 1b, ``increase`` Figure 1a,
+  ``combined`` the Section-5 proposal, ``prespill`` the [30] baseline);
+* ``mii`` — print ResMII / RecMII / MII for a loop;
+* ``suite`` — summarize the evaluation suite under a budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codegen import (
+    render_kernel,
+    render_lifetimes,
+    render_pressure,
+    render_schedule,
+)
+from repro.core import (
+    SelectionPolicy,
+    schedule_best_of_both,
+    schedule_increasing_ii,
+    schedule_with_prescheduling_spill,
+    schedule_with_spilling,
+)
+from repro.eval import format_table
+from repro.graph import ddg_from_source
+from repro.lifetimes import register_requirements
+from repro.machine import generic_machine, p1l4, p2l4, p2l6
+from repro.sched import (
+    HRMSScheduler,
+    IMSScheduler,
+    SwingScheduler,
+    compute_mii,
+    rec_mii,
+    reduce_stages,
+    res_mii,
+)
+
+_MACHINES = {"P1L4": p1l4, "P2L4": p2l4, "P2L6": p2l6}
+_SCHEDULERS = {
+    "hrms": HRMSScheduler,
+    "ims": IMSScheduler,
+    "swing": SwingScheduler,
+}
+_SHOW_CHOICES = ("graph", "schedule", "kernel", "lifetimes", "pressure", "all")
+
+
+def _machine_from(args):
+    if args.machine.upper() in _MACHINES:
+        return _MACHINES[args.machine.upper()]()
+    if args.machine.lower().startswith("generic"):
+        # generic:UNITS:LATENCY
+        parts = args.machine.split(":")
+        units = int(parts[1]) if len(parts) > 1 else 4
+        latency = int(parts[2]) if len(parts) > 2 else 2
+        return generic_machine(units, latency)
+    raise SystemExit(
+        f"unknown machine {args.machine!r}"
+        f" (choose {', '.join(_MACHINES)} or generic:UNITS:LATENCY)"
+    )
+
+
+def _source_from(args) -> str:
+    if args.expr:
+        return args.expr
+    if args.file == "-":
+        return sys.stdin.read()
+    with open(args.file) as handle:
+        return handle.read()
+
+
+def _add_loop_arguments(parser):
+    parser.add_argument(
+        "file", nargs="?", default="-",
+        help="mini-language source file ('-' for stdin)",
+    )
+    parser.add_argument(
+        "-e", "--expr", metavar="SOURCE",
+        help="inline loop body instead of a file",
+    )
+    parser.add_argument(
+        "--machine", default="P2L4",
+        help="P1L4, P2L4, P2L6 or generic:UNITS:LATENCY (default P2L4)",
+    )
+
+
+def _cmd_compile(args) -> int:
+    machine = _machine_from(args)
+    loop = ddg_from_source(_source_from(args), name=args.name)
+    scheduler = _SCHEDULERS[args.scheduler]()
+
+    if args.method == "spill":
+        result = schedule_with_spilling(
+            loop, machine, args.registers, scheduler=scheduler,
+            policy=SelectionPolicy.MAX_LT if args.policy == "lt"
+            else SelectionPolicy.MAX_LT_TRAF,
+        )
+        extra = f"spilled: {', '.join(result.spilled) or '(none)'}"
+    elif args.method == "increase":
+        result = schedule_increasing_ii(
+            loop, machine, args.registers, scheduler=scheduler
+        )
+        extra = f"trail: {result.trail}"
+    elif args.method == "combined":
+        result = schedule_best_of_both(
+            loop, machine, args.registers, scheduler=scheduler
+        )
+        extra = f"method chosen: {result.method}"
+    else:  # prespill
+        result = schedule_with_prescheduling_spill(
+            loop, machine, args.registers, scheduler=scheduler
+        )
+        extra = f"spilled: {', '.join(result.spilled) or '(none)'}"
+
+    if result.schedule is None:
+        print(f"FAILED: {result.reason}")
+        return 1
+    schedule = result.schedule
+    if args.stage_pass:
+        schedule = reduce_stages(schedule).schedule
+    report = register_requirements(schedule)
+    status = "ok" if result.converged else f"DID NOT FIT ({result.reason})"
+    print(
+        f"{loop.name}: {status}  II={schedule.ii}"
+        f" SC={schedule.stage_count} registers={report.total}"
+        f"/{args.registers} ({machine.name}, {scheduler.name})"
+    )
+    print(extra)
+    _show(args, schedule)
+    return 0 if result.converged else 1
+
+
+def _show(args, schedule) -> None:
+    wanted = set(args.show or [])
+    if "all" in wanted:
+        wanted = set(_SHOW_CHOICES) - {"all"}
+    sections = [
+        ("graph", lambda: str(schedule.ddg)),
+        ("schedule", lambda: render_schedule(schedule)),
+        ("kernel", lambda: render_kernel(schedule)),
+        ("lifetimes", lambda: render_lifetimes(schedule)),
+        ("pressure", lambda: render_pressure(schedule)),
+    ]
+    for name, renderer in sections:
+        if name in wanted:
+            print(f"\n--- {name} ---")
+            print(renderer())
+
+
+def _cmd_mii(args) -> int:
+    machine = _machine_from(args)
+    loop = ddg_from_source(_source_from(args), name=args.name)
+    print(f"ResMII = {res_mii(loop, machine)}")
+    print(f"RecMII = {rec_mii(loop, machine)}")
+    print(f"MII    = {compute_mii(loop, machine)}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.workloads import perfect_club_like_suite
+
+    machine = _machine_from(args)
+    suite = perfect_club_like_suite(size=args.size)
+    scheduler = HRMSScheduler()
+    rows = []
+    needy = 0
+    for workload in suite:
+        schedule = scheduler.schedule(workload.ddg, machine)
+        report = register_requirements(schedule)
+        fits = report.fits(args.registers)
+        needy += not fits
+        rows.append([
+            workload.name, len(workload.ddg), schedule.ii,
+            report.total, "" if fits else "needs reduction",
+        ])
+    print(format_table(
+        ["loop", "ops", "II", "registers", ""],
+        rows,
+        title=(
+            f"suite of {len(suite)} loops on {machine.name}"
+            f" / {args.registers} registers — {needy} need reduction"
+        ),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="register-constrained software pipelining"
+        " (Llosa/Valero/Ayguade, MICRO 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="schedule a loop under a register budget"
+    )
+    _add_loop_arguments(compile_parser)
+    compile_parser.add_argument("--name", default="loop")
+    compile_parser.add_argument(
+        "--registers", type=int, default=32, metavar="N"
+    )
+    compile_parser.add_argument(
+        "--method", choices=("spill", "increase", "combined", "prespill"),
+        default="combined",
+    )
+    compile_parser.add_argument(
+        "--scheduler", choices=sorted(_SCHEDULERS), default="hrms"
+    )
+    compile_parser.add_argument(
+        "--policy", choices=("lt", "lt_traf"), default="lt_traf",
+        help="spill selection heuristic",
+    )
+    compile_parser.add_argument(
+        "--stage-pass", action="store_true",
+        help="run the stage-scheduling post-pass on the result",
+    )
+    compile_parser.add_argument(
+        "--show", nargs="*", choices=_SHOW_CHOICES, metavar="SECTION",
+        help=f"artifacts to print: {', '.join(_SHOW_CHOICES)}",
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    mii_parser = sub.add_parser("mii", help="print the loop's MII bounds")
+    _add_loop_arguments(mii_parser)
+    mii_parser.add_argument("--name", default="loop")
+    mii_parser.set_defaults(func=_cmd_mii)
+
+    suite_parser = sub.add_parser(
+        "suite", help="summarize the evaluation suite"
+    )
+    suite_parser.add_argument("--size", type=int, default=24)
+    suite_parser.add_argument("--registers", type=int, default=32)
+    suite_parser.add_argument("--machine", default="P2L4")
+    suite_parser.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Code generation and figure-style rendering.
+
+Turns a :class:`~repro.sched.schedule.Schedule` into the pieces the paper
+draws: the kernel (one stage of the steady state, operations subscripted
+with their stage), the prologue/epilogue that fill and drain the pipeline,
+and ASCII renderings of the flat schedule, the lifetime chart and the
+register-pressure pattern (Figures 2c-2f).
+"""
+
+from repro.codegen.kernel import KernelCode, emit_loop
+from repro.codegen.render import (
+    render_kernel,
+    render_lifetimes,
+    render_pressure,
+    render_schedule,
+)
+
+__all__ = [
+    "KernelCode",
+    "emit_loop",
+    "render_kernel",
+    "render_lifetimes",
+    "render_pressure",
+    "render_schedule",
+]

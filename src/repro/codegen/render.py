@@ -1,0 +1,67 @@
+"""ASCII renderings of schedules, lifetimes and pressure patterns — the
+textual equivalents of the paper's Figures 2c-2f, used by the examples and
+handy when debugging heuristics.
+"""
+
+from __future__ import annotations
+
+from repro.lifetimes.lifetime import variant_lifetimes
+from repro.lifetimes.maxlive import pressure_pattern
+from repro.sched.schedule import Schedule, kernel_rows
+
+
+def render_schedule(schedule: Schedule) -> str:
+    """Flat schedule of one iteration: one line per cycle (Figure 2c)."""
+    by_cycle: dict[int, list[str]] = {}
+    for name, start in schedule.times.items():
+        by_cycle.setdefault(start, []).append(name)
+    lines = [f"II={schedule.ii}  SC={schedule.stage_count}"]
+    for cycle in range(schedule.span + 1):
+        ops = ", ".join(sorted(by_cycle.get(cycle, [])))
+        marker = "|" if cycle % schedule.ii == 0 else " "
+        lines.append(f"{marker}{cycle:4d}  {ops}")
+    return "\n".join(lines)
+
+
+def render_kernel(schedule: Schedule) -> str:
+    """The kernel with stage subscripts (Figure 2e)."""
+    lines = []
+    for row_index, row in enumerate(kernel_rows(schedule)):
+        cells = "  ".join(str(slot) for slot in row)
+        lines.append(f"row {row_index}: {cells}")
+    return "\n".join(lines)
+
+
+def render_lifetimes(schedule: Schedule, width: int = 60) -> str:
+    """Lifetime chart: one bar per loop-variant (Figure 2d).  The
+    scheduling component draws as ``#``, the distance component as ``=``.
+    """
+    lifetimes = variant_lifetimes(schedule)
+    if not lifetimes:
+        return "(no loop-variant lifetimes)"
+    span = max(lt.start + lt.length for lt in lifetimes)
+    scale = 1 if span <= width else (span + width - 1) // width
+    name_width = max(len(lt.value) for lt in lifetimes)
+    lines = []
+    for lifetime in sorted(lifetimes, key=lambda lt: (lt.start, lt.value)):
+        lead = " " * (lifetime.start // scale)
+        sched = "#" * max(1, lifetime.sched_component // scale)
+        dist = "=" * (lifetime.dist_component // scale)
+        lines.append(
+            f"{lifetime.value:<{name_width}} |{lead}{sched}{dist}"
+            f"  (LT={lifetime.length}: sch={lifetime.sched_component}"
+            f" dist={lifetime.dist_component})"
+        )
+    return "\n".join(lines)
+
+
+def render_pressure(schedule: Schedule, include_invariants: bool = True) -> str:
+    """Per-cycle live-value counts over one II (Figure 2f)."""
+    pattern = pressure_pattern(schedule, include_invariants)
+    lines = [
+        f"cycle {cycle}: {'*' * count} {count}"
+        for cycle, count in enumerate(pattern)
+    ]
+    peak = max(pattern) if pattern else 0
+    lines.append(f"MaxLive = {peak}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Register-constrained software pipelining — the paper's contribution.
+
+Three ways to make a modulo-scheduled loop fit in the available register
+file:
+
+* :func:`schedule_increasing_ii` — reschedule at ever larger IIs
+  (Figure 1a; the Cydra 5 approach), with non-convergence detection;
+* :func:`schedule_with_spilling` — the paper's iterative spilling driver
+  (Figure 1b) with the Max(LT) / Max(LT/Traf) selection heuristics and the
+  multiple-lifetimes and last-II-tried accelerations;
+* :func:`schedule_best_of_both` — the combined method sketched in
+  Section 5: spill first, then binary-search plain schedules below the
+  spill II and keep the better loop.
+"""
+
+from repro.core.select import (
+    SelectionPolicy,
+    SpillCandidate,
+    select_lifetimes,
+    spill_candidates,
+)
+from repro.core.spill import SpillHome, apply_spill
+from repro.core.increase_ii import IncreaseIIResult, schedule_increasing_ii
+from repro.core.driver import SpillResult, schedule_with_spilling
+from repro.core.combined import CombinedResult, schedule_best_of_both
+from repro.core.prespill import (
+    PreSpillResult,
+    schedule_with_prescheduling_spill,
+)
+
+__all__ = [
+    "CombinedResult",
+    "IncreaseIIResult",
+    "PreSpillResult",
+    "SelectionPolicy",
+    "SpillCandidate",
+    "SpillHome",
+    "SpillResult",
+    "apply_spill",
+    "schedule_best_of_both",
+    "schedule_increasing_ii",
+    "schedule_with_prescheduling_spill",
+    "schedule_with_spilling",
+    "select_lifetimes",
+    "spill_candidates",
+]

@@ -1,0 +1,160 @@
+"""The combined "best of all" method (paper Section 5, Figure 9).
+
+For a few loops, increasing the II beats spilling.  The paper proposes
+getting the best of both at almost no compile-time cost:
+
+1. schedule by adding spill code until a valid schedule is found
+   (``II_spill``);
+2. schedule the *original* loop once at ``II_spill``: if that fits the
+   register file, a schedule at least as good exists without spilling —
+   binary-search the plain schedules between MII (lower bound) and
+   ``II_spill`` (upper bound) for the smallest fitting II;
+3. keep whichever loop executes faster (smaller II; ties favour the plain
+   loop, which has no extra memory traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.driver import SpillResult, schedule_with_spilling
+from repro.core.select import SelectionPolicy
+from repro.graph.ddg import DDG
+from repro.lifetimes.requirements import RegisterReport, register_requirements
+from repro.machine.machine import MachineConfig
+from repro.sched.base import Effort, ModuloScheduler
+from repro.sched.hrms import HRMSScheduler
+from repro.sched.mii import compute_mii
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class CombinedResult:
+    """Outcome of the combined method.
+
+    ``method`` is ``"spill"`` or ``"increase_ii"`` depending on which loop
+    was kept; ``spill_result`` retains the spilling run for inspection.
+    """
+
+    converged: bool
+    method: str
+    schedule: Schedule | None
+    report: RegisterReport | None
+    ddg: DDG | None
+    spill_result: SpillResult
+    effort: Effort
+
+    @property
+    def final_ii(self) -> int | None:
+        return self.schedule.ii if self.schedule else None
+
+    @property
+    def memory_ops(self) -> int:
+        return self.ddg.memory_node_count() if self.ddg else 0
+
+
+def schedule_best_of_both(
+    ddg: DDG,
+    machine: MachineConfig,
+    available: int,
+    scheduler: ModuloScheduler | None = None,
+    policy: SelectionPolicy = SelectionPolicy.MAX_LT_TRAF,
+    exact: bool = True,
+) -> CombinedResult:
+    """Spill-first, then try to do better without spilling (see module
+    docstring)."""
+    scheduler = scheduler or HRMSScheduler()
+    spill = schedule_with_spilling(
+        ddg, machine, available, scheduler=scheduler, policy=policy, exact=exact
+    )
+    effort = Effort()
+    effort.add(spill.effort)
+    if not spill.converged or spill.schedule is None:
+        return CombinedResult(
+            converged=spill.converged,
+            method="spill",
+            schedule=spill.schedule,
+            report=spill.report,
+            ddg=spill.ddg,
+            spill_result=spill,
+            effort=effort,
+        )
+
+    ii_spill = spill.schedule.ii
+    probe = _plain_attempt(ddg, machine, available, scheduler, ii_spill, effort, exact)
+    if probe is None:
+        # Even at the spill II the plain loop does not fit: keep the spill.
+        return CombinedResult(
+            converged=True,
+            method="spill",
+            schedule=spill.schedule,
+            report=spill.report,
+            ddg=spill.ddg,
+            spill_result=spill,
+            effort=effort,
+        )
+
+    # Binary search the smallest fitting plain II in [MII, ii_spill].  The
+    # paper proposes this search even though fit-vs-II is not strictly
+    # monotone; it converges to *a* fitting II at worst equal to ii_spill.
+    best_plain = probe
+    low, high = compute_mii(ddg, machine), ii_spill
+    while low < high:
+        mid = (low + high) // 2
+        candidate = _plain_attempt(ddg, machine, available, scheduler, mid, effort, exact)
+        if candidate is not None:
+            best_plain = candidate
+            high = mid
+        else:
+            low = mid + 1
+
+    plain_schedule, plain_report = best_plain
+    # Prefer the plain loop on a strict II win; on ties, the steady state
+    # is identical, so compare ramp-up (stage count) and fall back to the
+    # spill-free loop only when it is not longer to fill and drain.
+    plain_wins = plain_schedule.ii < ii_spill or (
+        plain_schedule.ii == ii_spill
+        and plain_schedule.stage_count <= spill.schedule.stage_count
+    )
+    if plain_wins:
+        return CombinedResult(
+            converged=True,
+            method="increase_ii",
+            schedule=plain_schedule,
+            report=plain_report,
+            ddg=ddg,
+            spill_result=spill,
+            effort=effort,
+        )
+    return CombinedResult(
+        converged=True,
+        method="spill",
+        schedule=spill.schedule,
+        report=spill.report,
+        ddg=spill.ddg,
+        spill_result=spill,
+        effort=effort,
+    )
+
+
+def _plain_attempt(
+    ddg: DDG,
+    machine: MachineConfig,
+    available: int,
+    scheduler: ModuloScheduler,
+    ii: int,
+    effort: Effort,
+    exact: bool,
+) -> tuple[Schedule, RegisterReport] | None:
+    """Schedule the unspilled loop at exactly *ii*; None unless it both
+    schedules and fits the register file."""
+    schedule = scheduler.try_schedule_at(ddg, machine, ii)
+    if schedule is None:
+        effort.attempts += 1
+        return None
+    effort.attempts += schedule.effort_attempts
+    effort.placements += schedule.effort_placements
+    report = register_requirements(schedule, exact=exact)
+    if not report.fits(available):
+        return None
+    return schedule, report

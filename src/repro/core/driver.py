@@ -1,0 +1,190 @@
+"""The iterative spilling driver (paper Figure 1b and Sections 4-4.5).
+
+Schedule → allocate → if the loop does not fit, select lifetime(s), insert
+spill code, and reschedule — the added loads/stores change the dependence
+graph, so a fresh schedule is required each round.  Convergence is
+guaranteed by the non-spillable marking and the complex-operation fusion
+performed in :mod:`repro.core.spill`.
+
+Accelerations (Section 4.5), both on by default:
+
+* ``multiple`` — spill several lifetimes per round, chosen with the
+  optimistic MaxLive-based estimate, instead of one per reschedule;
+* ``last_ii`` — start each round's II search at
+  ``max(MII, previous round's II)``: the II almost never decreases when
+  spill code is added, so lower IIs are wasted attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.select import SelectionPolicy, select_lifetimes
+from repro.core.spill import apply_spill
+from repro.graph.ddg import DDG
+from repro.lifetimes.requirements import RegisterReport, register_requirements
+from repro.machine.machine import MachineConfig
+from repro.sched.base import Effort, ModuloScheduler, ScheduleError
+from repro.sched.hrms import HRMSScheduler
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class SpillRound:
+    """One schedule→measure→spill iteration (a point of Figure 7)."""
+
+    ii: int
+    mii: int
+    registers: int
+    max_live: int
+    memory_ops: int
+    spilled_values: tuple[str, ...] = ()
+
+
+@dataclass
+class SpillResult:
+    """Outcome of the spilling driver.
+
+    ``ddg`` is the final (transformed) graph the final schedule runs on;
+    ``rounds`` traces every iteration for the trajectory figures.
+    """
+
+    converged: bool
+    reason: str
+    schedule: Schedule | None
+    report: RegisterReport | None
+    ddg: DDG | None
+    rounds: list[SpillRound] = field(default_factory=list)
+    spilled: list[str] = field(default_factory=list)
+    effort: Effort = field(default_factory=Effort)
+    wall_seconds: float = 0.0
+
+    @property
+    def final_ii(self) -> int | None:
+        return self.schedule.ii if self.schedule else None
+
+    @property
+    def reschedules(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def memory_ops(self) -> int:
+        return self.ddg.memory_node_count() if self.ddg else 0
+
+
+def schedule_with_spilling(
+    ddg: DDG,
+    machine: MachineConfig,
+    available: int,
+    scheduler: ModuloScheduler | None = None,
+    policy: SelectionPolicy = SelectionPolicy.MAX_LT_TRAF,
+    multiple: bool = True,
+    last_ii: bool = True,
+    exact: bool = True,
+    max_rounds: int = 200,
+    fuse: bool = True,
+    mark_non_spillable: bool = True,
+) -> SpillResult:
+    """Run Figure 1b's flow until the loop fits in *available* registers.
+
+    ``fuse`` / ``mark_non_spillable`` weaken the convergence safeguards for
+    the ablation studies; leave them on for the paper's algorithm.
+    """
+    scheduler = scheduler or HRMSScheduler()
+    started = time.perf_counter()
+    work = ddg.copy()
+    effort = Effort()
+    rounds: list[SpillRound] = []
+    spilled: list[str] = []
+    min_ii: int | None = None
+    last_schedule: Schedule | None = None
+    last_report: RegisterReport | None = None
+
+    for _ in range(max_rounds):
+        try:
+            schedule = scheduler.schedule(work, machine, min_ii=min_ii)
+        except ScheduleError as error:
+            return SpillResult(
+                converged=False,
+                reason=str(error),
+                schedule=last_schedule,
+                report=last_report,
+                ddg=work,
+                rounds=rounds,
+                spilled=spilled,
+                effort=effort,
+                wall_seconds=time.perf_counter() - started,
+            )
+        effort.attempts += schedule.effort_attempts
+        effort.placements += schedule.effort_placements
+        report = register_requirements(schedule, exact=exact)
+        last_schedule, last_report = schedule, report
+
+        candidates = []
+        if not report.fits(available):
+            candidates = select_lifetimes(
+                schedule, report, available, policy=policy, multiple=multiple
+            )
+        selection = tuple(c.lifetime.value for c in candidates)
+        rounds.append(
+            SpillRound(
+                ii=schedule.ii,
+                mii=_round_mii(work, machine),
+                registers=report.total,
+                max_live=report.estimate,
+                memory_ops=work.memory_node_count(),
+                spilled_values=selection,
+            )
+        )
+        if report.fits(available):
+            return SpillResult(
+                converged=True,
+                reason="fits",
+                schedule=schedule,
+                report=report,
+                ddg=work,
+                rounds=rounds,
+                spilled=spilled,
+                effort=effort,
+                wall_seconds=time.perf_counter() - started,
+            )
+        if not selection:
+            return SpillResult(
+                converged=False,
+                reason="no spillable lifetimes remain",
+                schedule=schedule,
+                report=report,
+                ddg=work,
+                rounds=rounds,
+                spilled=spilled,
+                effort=effort,
+                wall_seconds=time.perf_counter() - started,
+            )
+        for candidate in candidates:
+            apply_spill(
+                work,
+                candidate.lifetime,
+                fuse=fuse,
+                mark_non_spillable=mark_non_spillable,
+            )
+            spilled.append(candidate.lifetime.value)
+        if last_ii:
+            min_ii = schedule.ii
+    return SpillResult(
+        converged=False,
+        reason=f"gave up after {max_rounds} rounds",
+        schedule=last_schedule,
+        report=last_report,
+        ddg=work,
+        rounds=rounds,
+        spilled=spilled,
+        effort=effort,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _round_mii(ddg: DDG, machine: MachineConfig) -> int:
+    from repro.sched.mii import compute_mii
+
+    return compute_mii(ddg, machine)

@@ -1,0 +1,40 @@
+"""Evaluation harness.
+
+Per-experiment drivers that regenerate every table and figure of the
+paper's Section 5 on the reproduction suite, plus the metrics they share.
+Each driver returns a result object with a ``render()`` method producing
+the paper-style rows; the benchmark harness under ``benchmarks/`` times
+the drivers and writes the rendered output.
+"""
+
+from repro.eval.metrics import LoopOutcome, executed_cycles, memory_traffic
+from repro.eval.experiments import (
+    Fig4Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    Table1Result,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "LoopOutcome",
+    "Table1Result",
+    "executed_cycles",
+    "format_table",
+    "memory_traffic",
+    "run_fig4",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+]

@@ -1,0 +1,410 @@
+"""Per-table / per-figure experiment drivers (paper Section 5).
+
+Each ``run_*`` function regenerates one artifact of the paper's evaluation
+on the reproduction suite and returns a result object whose ``render()``
+prints the same rows/series the paper reports.  DESIGN.md carries the
+experiment index mapping these drivers to the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.combined import schedule_best_of_both
+from repro.core.driver import SpillResult, schedule_with_spilling
+from repro.core.increase_ii import schedule_increasing_ii
+from repro.core.select import SelectionPolicy
+from repro.eval.metrics import LoopOutcome, executed_cycles, memory_traffic
+from repro.eval.reporting import format_table
+from repro.lifetimes.requirements import register_requirements
+from repro.machine.machine import MachineConfig, paper_configurations
+from repro.sched.base import ModuloScheduler
+from repro.sched.hrms import HRMSScheduler
+from repro.sched.schedule import Schedule
+from repro.workloads.apsi import apsi47_like, apsi50_like
+from repro.workloads.suite import Workload, perfect_club_like_suite
+
+#: Figure 8's heuristic variants, in the paper's order.
+FIG8_VARIANTS: list[tuple[str, dict]] = [
+    ("Max(LT)", dict(policy=SelectionPolicy.MAX_LT, multiple=False, last_ii=False)),
+    ("Max(LT/Traf)", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=False, last_ii=False)),
+    ("Max(LT/Traf)+mult", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=False)),
+    ("Max(LT/Traf)+mult+lastII", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=True)),
+]
+
+DEFAULT_BUDGETS = (64, 32)
+
+
+def _ideal_outcomes(
+    suite: list[Workload], machine: MachineConfig, scheduler: ModuloScheduler
+) -> dict[str, tuple[Schedule, int]]:
+    """Plain (infinite-register) schedule and register demand per loop."""
+    outcomes = {}
+    for workload in suite:
+        schedule = scheduler.schedule(workload.ddg, machine)
+        report = register_requirements(schedule)
+        outcomes[workload.name] = (schedule, report.total)
+    return outcomes
+
+
+# ======================================================================
+# Table 1 — loops that never converge under II increase
+@dataclass
+class Table1Result:
+    """Per (configuration, register budget): how many loops never converge
+    and the share of (infinite-register) execution cycles they represent."""
+
+    suite_size: int
+    rows: list[tuple[str, int, int, float]] = field(default_factory=list)
+    # (config, budget, never_converge_count, weighted cycle share %)
+
+    def render(self) -> str:
+        return format_table(
+            ["config", "registers", "loops that never converge", "% of cycles"],
+            [list(row) for row in self.rows],
+            title=(
+                "Table 1: II-increase non-convergence"
+                f" (suite of {self.suite_size} loops)"
+            ),
+        )
+
+
+def run_table1(
+    suite: list[Workload] | None = None,
+    machines: list[MachineConfig] | None = None,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    scheduler: ModuloScheduler | None = None,
+    patience: int = 10,
+) -> Table1Result:
+    suite = suite if suite is not None else perfect_club_like_suite()
+    machines = machines if machines is not None else paper_configurations()
+    scheduler = scheduler or HRMSScheduler()
+    result = Table1Result(suite_size=len(suite))
+    for machine in machines:
+        ideal = _ideal_outcomes(suite, machine, scheduler)
+        total_cycles = sum(
+            executed_cycles(ideal[w.name][0], w.weight) for w in suite
+        )
+        for budget in budgets:
+            failed_cycles = 0
+            failed_count = 0
+            for workload in suite:
+                schedule, registers = ideal[workload.name]
+                if registers <= budget:
+                    continue
+                outcome = schedule_increasing_ii(
+                    workload.ddg,
+                    machine,
+                    budget,
+                    scheduler=scheduler,
+                    patience=patience,
+                )
+                if not outcome.converged:
+                    failed_count += 1
+                    failed_cycles += executed_cycles(schedule, workload.weight)
+            share = 100.0 * failed_cycles / total_cycles if total_cycles else 0.0
+            result.rows.append((machine.name, budget, failed_count, share))
+    return result
+
+
+# ======================================================================
+# Figure 4 — register requirement vs II for the two example loops
+@dataclass
+class Fig4Result:
+    trails: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    converged: dict[str, dict[int, int | None]] = field(default_factory=dict)
+    # loop -> {budget: II reached or None}
+
+    def render(self) -> str:
+        blocks = []
+        for name, trail in self.trails.items():
+            rows = [[ii, regs] for ii, regs in trail]
+            blocks.append(
+                format_table(
+                    ["II", "registers"],
+                    rows,
+                    title=f"Figure 4 ({name}): registers vs II",
+                )
+            )
+            notes = ", ".join(
+                f"{budget} regs -> "
+                + (f"II={ii}" if ii is not None else "never converges")
+                for budget, ii in self.converged[name].items()
+            )
+            blocks.append(f"convergence: {notes}")
+        return "\n\n".join(blocks)
+
+
+def run_fig4(
+    machine: MachineConfig | None = None,
+    budgets: tuple[int, ...] = (32, 16),
+    scheduler: ModuloScheduler | None = None,
+    max_ii: int = 120,
+) -> Fig4Result:
+    machine = machine or paper_configurations()[1]  # P2L4
+    scheduler = scheduler or HRMSScheduler()
+    result = Fig4Result()
+    for ddg in (apsi47_like(), apsi50_like()):
+        # One long sweep (down to an impossible budget) yields the whole
+        # registers-vs-II curve.
+        sweep = schedule_increasing_ii(
+            ddg,
+            machine,
+            available=1,
+            scheduler=scheduler,
+            patience=18,
+            max_ii=max_ii,
+            stop_on_certificate=False,
+        )
+        result.trails[ddg.name] = sweep.trail
+        result.converged[ddg.name] = {}
+        for budget in budgets:
+            fitting = [ii for ii, regs in sweep.trail if regs <= budget]
+            result.converged[ddg.name][budget] = min(fitting) if fitting else None
+    return result
+
+
+# ======================================================================
+# Figure 7 — behaviour while spilling lifetimes one at a time
+@dataclass
+class Fig7Result:
+    machine: str = ""
+    rounds: dict[str, list[tuple[int, int, int, int, float]]] = field(
+        default_factory=dict
+    )
+    # loop -> [(n_spilled, II, MII, registers, bus %)]
+
+    def render(self) -> str:
+        blocks = []
+        for name, rows in self.rounds.items():
+            blocks.append(
+                format_table(
+                    ["spilled", "II", "MII", "registers", "bus %"],
+                    [list(row) for row in rows],
+                    title=(
+                        f"Figure 7 ({name}, {self.machine}):"
+                        " spilling trajectory, Max(LT)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_fig7(
+    machine: MachineConfig | None = None,
+    target_registers: int = 12,
+    scheduler: ModuloScheduler | None = None,
+) -> Fig7Result:
+    machine = machine or paper_configurations()[1]  # P2L4
+    scheduler = scheduler or HRMSScheduler()
+    result = Fig7Result(machine=machine.name)
+    buses = machine.memory_units()
+    for ddg in (apsi47_like(), apsi50_like()):
+        run = schedule_with_spilling(
+            ddg,
+            machine,
+            target_registers,
+            scheduler=scheduler,
+            policy=SelectionPolicy.MAX_LT,
+            multiple=False,
+            last_ii=False,
+        )
+        rows = []
+        spilled_so_far = 0
+        for entry in run.rounds:
+            bus = 100.0 * entry.memory_ops / (buses * entry.ii)
+            rows.append(
+                (spilled_so_far, entry.ii, entry.mii, entry.registers, bus)
+            )
+            spilled_so_far += len(entry.spilled_values)
+        result.rounds[ddg.name] = rows
+    return result
+
+
+# ======================================================================
+# Figure 8 — heuristics across configurations: cycles, traffic, time
+@dataclass
+class Fig8Result:
+    suite_size: int
+    rows: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = [
+            "config", "registers", "variant", "cycles", "traffic",
+            "attempts", "placements", "seconds", "not converged",
+        ]
+        table_rows = [
+            [
+                row["config"], row["budget"], row["variant"], row["cycles"],
+                row["traffic"], row["attempts"], row["placements"],
+                row["seconds"], row["failed"],
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title=(
+                "Figure 8: spilling heuristics — execution cycles (8a),"
+                f" memory traffic (8b), scheduling effort (8c);"
+                f" suite of {self.suite_size} loops"
+            ),
+        )
+
+
+def run_fig8(
+    suite: list[Workload] | None = None,
+    machines: list[MachineConfig] | None = None,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    variants: list[tuple[str, dict]] | None = None,
+    scheduler: ModuloScheduler | None = None,
+) -> Fig8Result:
+    suite = suite if suite is not None else perfect_club_like_suite()
+    machines = machines if machines is not None else paper_configurations()
+    variants = variants if variants is not None else FIG8_VARIANTS
+    scheduler = scheduler or HRMSScheduler()
+    result = Fig8Result(suite_size=len(suite))
+    for machine in machines:
+        ideal = _ideal_outcomes(suite, machine, scheduler)
+        for budget in budgets:
+            ideal_cycles = sum(
+                executed_cycles(ideal[w.name][0], w.weight) for w in suite
+            )
+            ideal_traffic = sum(
+                memory_traffic(w.ddg, w.weight) for w in suite
+            )
+            result.rows.append(
+                dict(
+                    config=machine.name,
+                    budget=budget,
+                    variant="ideal (infinite regs)",
+                    cycles=ideal_cycles,
+                    traffic=ideal_traffic,
+                    attempts=0,
+                    placements=0,
+                    seconds=0.0,
+                    failed=0,
+                )
+            )
+            for label, options in variants:
+                row = _run_fig8_variant(
+                    suite, machine, budget, scheduler, ideal, options
+                )
+                row.update(config=machine.name, budget=budget, variant=label)
+                result.rows.append(row)
+    return result
+
+
+def _run_fig8_variant(
+    suite: list[Workload],
+    machine: MachineConfig,
+    budget: int,
+    scheduler: ModuloScheduler,
+    ideal: dict[str, tuple[Schedule, int]],
+    options: dict,
+) -> dict:
+    cycles = traffic = attempts = placements = failed = 0
+    started = time.perf_counter()
+    for workload in suite:
+        schedule, registers = ideal[workload.name]
+        if registers <= budget:
+            cycles += executed_cycles(schedule, workload.weight)
+            traffic += memory_traffic(workload.ddg, workload.weight)
+            continue
+        run = schedule_with_spilling(
+            workload.ddg, machine, budget, scheduler=scheduler, **options
+        )
+        attempts += run.effort.attempts
+        placements += run.effort.placements
+        if not run.converged:
+            failed += 1
+        final = run.schedule if run.schedule is not None else schedule
+        final_ddg = run.ddg if run.ddg is not None else workload.ddg
+        cycles += executed_cycles(final, workload.weight)
+        traffic += memory_traffic(final_ddg, workload.weight)
+    return dict(
+        cycles=cycles,
+        traffic=traffic,
+        attempts=attempts,
+        placements=placements,
+        seconds=time.perf_counter() - started,
+        failed=failed,
+    )
+
+
+# ======================================================================
+# Figure 9 — increasing the II vs adding spill code vs best of all
+@dataclass
+class Fig9Result:
+    suite_size: int
+    rows: list[tuple[str, int, int, int, int, int, int]] = field(
+        default_factory=list
+    )
+    # (config, budget, subset size, cycles incII, cycles spill,
+    #  cycles best-of-all, ideal cycles)
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "config", "registers", "loops", "increase II", "spill",
+                "best of all", "ideal",
+            ],
+            [list(row) for row in self.rows],
+            title=(
+                "Figure 9: II-increase vs spilling vs combined, on the"
+                " subset needing register reduction where II-increase"
+                f" converges (suite of {self.suite_size} loops)"
+            ),
+        )
+
+
+def run_fig9(
+    suite: list[Workload] | None = None,
+    machines: list[MachineConfig] | None = None,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    scheduler: ModuloScheduler | None = None,
+) -> Fig9Result:
+    suite = suite if suite is not None else perfect_club_like_suite()
+    machines = machines if machines is not None else paper_configurations()
+    scheduler = scheduler or HRMSScheduler()
+    result = Fig9Result(suite_size=len(suite))
+    for machine in machines:
+        ideal = _ideal_outcomes(suite, machine, scheduler)
+        for budget in budgets:
+            subset = 0
+            cycles_inc = cycles_spill = cycles_best = cycles_ideal = 0
+            for workload in suite:
+                schedule, registers = ideal[workload.name]
+                if registers <= budget:
+                    continue
+                inc = schedule_increasing_ii(
+                    workload.ddg, machine, budget, scheduler=scheduler
+                )
+                if not inc.converged:
+                    continue  # the paper's comparison excludes these
+                spill = schedule_with_spilling(
+                    workload.ddg, machine, budget, scheduler=scheduler
+                )
+                best = schedule_best_of_both(
+                    workload.ddg, machine, budget, scheduler=scheduler
+                )
+                subset += 1
+                cycles_ideal += executed_cycles(schedule, workload.weight)
+                cycles_inc += executed_cycles(inc.schedule, workload.weight)
+                spill_schedule = spill.schedule or inc.schedule
+                cycles_spill += executed_cycles(spill_schedule, workload.weight)
+                best_schedule = best.schedule or spill_schedule
+                cycles_best += executed_cycles(best_schedule, workload.weight)
+            result.rows.append(
+                (
+                    machine.name,
+                    budget,
+                    subset,
+                    cycles_inc,
+                    cycles_spill,
+                    cycles_best,
+                    cycles_ideal,
+                )
+            )
+    return result

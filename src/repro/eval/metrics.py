@@ -1,0 +1,77 @@
+"""Shared evaluation metrics.
+
+The paper reports three quantities per experiment:
+
+* **execution cycles** — a loop executing ``N`` iterations at initiation
+  interval II with SC stages takes ``(N + SC - 1) * II`` cycles (ramp-up,
+  steady state, drain); suite totals weight each loop by its execution
+  count;
+* **dynamic memory traffic** — memory operations in the final dependence
+  graph times iterations executed (spill code adds loads/stores);
+* **scheduling effort** — machine-independent scheduler work (scheduling
+  attempts and slot placements) plus wall-clock time, standing in for the
+  paper's HP-9000/735 compile-time measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ddg import DDG
+from repro.sched.schedule import Schedule
+
+
+def executed_cycles(schedule: Schedule, iterations: int) -> int:
+    """Cycles to run *iterations* iterations of *schedule*."""
+    return schedule.cycles_for(iterations)
+
+
+def memory_traffic(ddg: DDG, iterations: int) -> int:
+    """Dynamic memory references for *iterations* iterations."""
+    return ddg.memory_node_count() * iterations
+
+
+@dataclass
+class LoopOutcome:
+    """Per-loop result of one register-constrained scheduling method."""
+
+    name: str
+    weight: int
+    converged: bool
+    ii: int | None
+    stage_count: int | None
+    registers: int | None
+    memory_ops: int
+    cycles: int
+    traffic: int
+    attempts: int = 0
+    placements: int = 0
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def from_schedule(
+        cls,
+        name: str,
+        weight: int,
+        schedule: Schedule,
+        ddg: DDG,
+        registers: int | None,
+        converged: bool = True,
+        attempts: int = 0,
+        placements: int = 0,
+        wall_seconds: float = 0.0,
+    ) -> "LoopOutcome":
+        return cls(
+            name=name,
+            weight=weight,
+            converged=converged,
+            ii=schedule.ii,
+            stage_count=schedule.stage_count,
+            registers=registers,
+            memory_ops=ddg.memory_node_count(),
+            cycles=executed_cycles(schedule, weight),
+            traffic=memory_traffic(ddg, weight),
+            attempts=attempts,
+            placements=placements,
+            wall_seconds=wall_seconds,
+        )

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Fixed-width table; numbers right-aligned, text left-aligned."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for source_row, row in zip(rows, cells):
+        rendered = []
+        for index, cell in enumerate(row):
+            if isinstance(source_row[index], (int, float)):
+                rendered.append(cell.rjust(widths[index]))
+            else:
+                rendered.append(cell.ljust(widths[index]))
+        lines.append("  ".join(rendered))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,32 @@
+"""Data dependence graph (DDG) substrate.
+
+The DDG is the representation every other subsystem works on: nodes are
+operations of one loop iteration; edges are dependences typed *register* or
+*memory* (the paper's ``RegE``/``MemE``), each with a dependence distance
+``delta`` in iterations.  Loop-invariant values are carried alongside the
+graph because they consume registers without being produced by any node.
+"""
+
+from repro.graph.ddg import DDG, DepKind, Edge, EdgeKind, Invariant, Node
+from repro.graph.builder import build_ddg, ddg_from_source
+from repro.graph.analysis import (
+    critical_recurrence,
+    longest_path_lengths,
+    recurrence_mii_of_scc,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "DDG",
+    "DepKind",
+    "Edge",
+    "EdgeKind",
+    "Invariant",
+    "Node",
+    "build_ddg",
+    "critical_recurrence",
+    "ddg_from_source",
+    "longest_path_lengths",
+    "recurrence_mii_of_scc",
+    "strongly_connected_components",
+]

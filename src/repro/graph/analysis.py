@@ -1,0 +1,214 @@
+"""Graph analyses used by the schedulers.
+
+* strongly connected components (recurrences, Section 2.2);
+* per-recurrence minimum initiation interval (``RecMII`` of one SCC),
+  computed by binary search on II with a Bellman-Ford positive-cycle test
+  over edge weights ``latency(e) - II * distance(e)``;
+* ASAP/ALAP start times for a candidate II (longest paths), from which the
+  ordering heuristics derive depth, height and mobility.
+
+All functions take a ``latencies`` mapping (node name → operation latency
+on the target machine) so this module stays independent of the machine
+model.  Dependence-edge latency is the producer's latency for flow
+dependences and one cycle for anti/output memory dependences (strict
+ordering, the conservative choice for machines without same-cycle
+store-to-load forwarding).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ddg import DDG, DepKind, Edge
+
+#: latency charged to anti and output memory dependences.
+NON_FLOW_LATENCY = 1
+
+
+def edge_latency(edge: Edge, latencies: dict[str, int]) -> int:
+    """Cycles that must separate ``edge.src`` and ``edge.dst`` (before
+    subtracting ``II * distance``)."""
+    if edge.dep is DepKind.FLOW:
+        return latencies[edge.src]
+    return NON_FLOW_LATENCY
+
+
+# ----------------------------------------------------------------------
+def strongly_connected_components(ddg: DDG) -> list[set[str]]:
+    """Tarjan's algorithm, iterative (graphs can be deep)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = 0
+
+    for root in ddg.nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, [e.dst for e in ddg.out_edges(root)], 0)
+        ]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs, pointer = work.pop()
+            advanced = False
+            while pointer < len(succs):
+                succ = succs[pointer]
+                pointer += 1
+                if succ not in index:
+                    work.append((node, succs, pointer))
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, [e.dst for e in ddg.out_edges(succ)], 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def recurrence_components(ddg: DDG) -> list[set[str]]:
+    """SCCs that actually contain a cycle (more than one node, or a
+    self-loop)."""
+    result = []
+    for component in strongly_connected_components(ddg):
+        if len(component) > 1:
+            result.append(component)
+            continue
+        (node,) = component
+        if any(e.dst == node for e in ddg.out_edges(node)):
+            result.append(component)
+    return result
+
+
+# ----------------------------------------------------------------------
+def _has_positive_cycle(
+    nodes: set[str],
+    edges: list[Edge],
+    latencies: dict[str, int],
+    ii: int,
+) -> bool:
+    """Bellman-Ford longest-path relaxation restricted to *nodes*; a value
+    still improving after |nodes| rounds certifies a positive cycle, i.e.
+    II is below this recurrence's RecMII."""
+    dist = {name: 0 for name in nodes}
+    local = [e for e in edges if e.src in nodes and e.dst in nodes]
+    for _ in range(len(nodes)):
+        changed = False
+        for edge in local:
+            weight = edge_latency(edge, latencies) - ii * edge.distance
+            candidate = dist[edge.src] + weight
+            if candidate > dist[edge.dst]:
+                dist[edge.dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def recurrence_mii_of_scc(
+    ddg: DDG, component: set[str], latencies: dict[str, int]
+) -> int:
+    """RecMII contributed by one recurrence: the smallest II at which no
+    dependence cycle through the component has positive slack demand
+    (equivalently ``max over cycles ceil(sum latency / sum distance)``)."""
+    edges = [e for e in ddg.edges if e.src in component and e.dst in component]
+    if not edges:
+        return 1
+    # At II = total latency + 1 every cycle with distance >= 1 has negative
+    # weight; if a positive cycle survives there, some cycle has zero total
+    # distance and no II can schedule the loop.
+    ceiling = sum(edge_latency(e, latencies) for e in edges) + 1
+    if _has_positive_cycle(component, edges, latencies, ceiling):
+        raise ValueError(
+            f"zero-distance dependence cycle in {sorted(component)}; the"
+            " graph is unschedulable"
+        )
+    low, high = 1, ceiling
+    while low < high:
+        mid = (low + high) // 2
+        if _has_positive_cycle(component, edges, latencies, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def critical_recurrence(
+    ddg: DDG, latencies: dict[str, int]
+) -> tuple[set[str] | None, int]:
+    """The recurrence with the largest RecMII, and that RecMII (1 if the
+    graph is acyclic)."""
+    best: set[str] | None = None
+    best_mii = 1
+    for component in recurrence_components(ddg):
+        mii = recurrence_mii_of_scc(ddg, component, latencies)
+        if mii > best_mii or best is None:
+            best, best_mii = component, max(best_mii, mii)
+    return best, best_mii
+
+
+# ----------------------------------------------------------------------
+def longest_path_lengths(
+    ddg: DDG,
+    latencies: dict[str, int],
+    ii: int,
+    reverse: bool = False,
+) -> dict[str, int]:
+    """Longest path (edge weights ``latency - II*distance``, floored at 0
+    from the virtual source) from the graph's sources to each node — or to
+    each node from the sinks when ``reverse``.
+
+    Callers must pass ``ii >= RecMII`` or the relaxation may not converge;
+    a ``ValueError`` is raised if it does not.
+    """
+    dist = {name: 0 for name in ddg.nodes}
+    edges = ddg.edges
+    for _ in range(len(ddg.nodes) + 1):
+        changed = False
+        for edge in edges:
+            weight = edge_latency(edge, latencies) - ii * edge.distance
+            if reverse:
+                src, dst = edge.dst, edge.src
+            else:
+                src, dst = edge.src, edge.dst
+            candidate = dist[src] + weight
+            if candidate > dist[dst]:
+                dist[dst] = candidate
+                changed = True
+        if not changed:
+            return dist
+    raise ValueError(f"II={ii} is below RecMII; longest paths diverge")
+
+
+def asap_alap(
+    ddg: DDG, latencies: dict[str, int], ii: int
+) -> tuple[dict[str, int], dict[str, int]]:
+    """ASAP and ALAP start cycles at initiation interval *ii*.
+
+    ALAP is normalized so the critical path has zero mobility:
+    ``alap[v] = span - height[v]`` where span is the critical-path length.
+    """
+    depth = longest_path_lengths(ddg, latencies, ii)
+    height = longest_path_lengths(ddg, latencies, ii, reverse=True)
+    span = max((depth[v] + height[v] for v in ddg.nodes), default=0)
+    alap = {v: span - height[v] for v in ddg.nodes}
+    return depth, alap

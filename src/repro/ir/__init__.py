@@ -1,0 +1,32 @@
+"""Loop intermediate representation and front-end.
+
+The paper obtains dependence graphs from Fortran DO loops through the
+experimental ICTINEO compiler.  This package plays that role for the
+reproduction: a small loop language (assignments over array elements and
+scalars, see :mod:`repro.ir.parser`) is parsed into a :class:`LoopBody` of
+:class:`Operation` values, from which :mod:`repro.graph.builder` derives the
+data dependence graph used everywhere else.
+"""
+
+from repro.ir.operations import (
+    FuClass,
+    Opcode,
+    Operation,
+    is_memory_opcode,
+    opcode_fu_class,
+)
+from repro.ir.loop import ArrayRef, LoopBody, ScalarRef
+from repro.ir.parser import LoopParseError, parse_loop
+
+__all__ = [
+    "ArrayRef",
+    "FuClass",
+    "LoopBody",
+    "LoopParseError",
+    "Opcode",
+    "Operation",
+    "ScalarRef",
+    "is_memory_opcode",
+    "opcode_fu_class",
+    "parse_loop",
+]

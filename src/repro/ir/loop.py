@@ -1,0 +1,104 @@
+"""Loop body representation produced by the front-end.
+
+A :class:`LoopBody` is a straight-line sequence of operations (one basic
+block, as in the paper: loops with conditionals are IF-converted first) plus
+the symbol information the dependence-graph builder needs:
+
+* which scalar names are *loop-variant* (defined inside the loop) and which
+  are *loop-invariant* (only read) — invariants occupy one register each
+  regardless of the schedule (paper Section 2.3);
+* which array element every load/store touches, as an :class:`ArrayRef`
+  with a constant offset from the induction variable, so memory dependence
+  distances can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operations import Operation, is_memory_opcode
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A reference ``array[i + offset]`` relative to the induction variable.
+
+    Only affine references with a constant offset are supported; this covers
+    the single-basic-block innermost DO loops the paper evaluates.
+    """
+
+    array: str
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return f"{self.array}[i]"
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.array}[i{sign}{abs(self.offset)}]"
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """A scalar read.  ``carried`` marks a read of the previous iteration's
+    value (read-before-write in the same iteration → distance-1 dependence).
+    """
+
+    name: str
+    carried: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name}'" if self.carried else self.name
+
+
+@dataclass
+class LoopBody:
+    """A parsed loop body.
+
+    Attributes:
+        name: loop identifier (used in reports).
+        operations: the operations in program order.
+        invariants: scalar names read but never defined in the loop.
+        live_out: scalar names defined in the loop whose final value is used
+            after the loop (e.g. reduction accumulators).  Their defining
+            value must stay in a register until the iteration's consumers
+            and the next iteration's read are done.
+        source: original mini-language text, when the body came from
+            :func:`repro.ir.parser.parse_loop` (kept for reports).
+    """
+
+    name: str
+    operations: list[Operation] = field(default_factory=list)
+    invariants: set[str] = field(default_factory=set)
+    live_out: set[str] = field(default_factory=set)
+    source: str | None = None
+
+    def add(self, op: Operation) -> Operation:
+        """Append *op*, enforcing name uniqueness."""
+        if any(existing.name == op.name for existing in self.operations):
+            raise ValueError(f"duplicate operation name {op.name!r} in {self.name}")
+        self.operations.append(op)
+        return op
+
+    def op(self, name: str) -> Operation:
+        """Return the operation called *name*."""
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise KeyError(name)
+
+    @property
+    def memory_operations(self) -> list[Operation]:
+        return [op for op in self.operations if is_memory_opcode(op.opcode)]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"loop {self.name}:"]
+        lines += [f"  {op}" for op in self.operations]
+        if self.invariants:
+            lines.append(f"  invariants: {', '.join(sorted(self.invariants))}")
+        return "\n".join(lines)

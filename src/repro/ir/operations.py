@@ -1,0 +1,144 @@
+"""Operation vocabulary shared by the IR, the dependence graph and the
+machine model.
+
+The paper's machine executes a conventional floating-point instruction set:
+loads and stores, additions, multiplications, divisions and square roots.
+Each opcode is executed by one functional-unit *class*; latencies are a
+property of the machine configuration (:mod:`repro.machine.machine`), not of
+the opcode, because the paper varies them between configurations (adders and
+multipliers have latency 4 in P1L4/P2L4 and 6 in P2L6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """Machine operations appearing in loop bodies.
+
+    ``LOAD``/``STORE`` access memory.  ``SPILL_LOAD``/``SPILL_STORE`` are
+    inserted by the spiller (:mod:`repro.core.spill`); they execute on the
+    memory unit exactly like ordinary loads/stores but are distinguished so
+    convergence rules (non-spillable marking) and traffic accounting can
+    identify them.  ``COPY`` is a register move (used by modulo variable
+    expansion).  ``NOP`` exists for tests.
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    SPILL_LOAD = "spill_load"
+    SPILL_STORE = "spill_store"
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    MUL = "mul"
+    DIV = "div"
+    SQRT = "sqrt"
+    CMP = "cmp"
+    SELECT = "select"
+    COPY = "copy"
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+class FuClass(enum.Enum):
+    """Functional unit classes of the paper's configurations.
+
+    ``MEMORY`` is the load/store unit, ``ADDER`` and ``MULTIPLIER`` the
+    pipelined FP units, ``DIVSQRT`` the non-pipelined divide/square-root
+    unit.  ``GENERIC`` models the introductory example of the paper
+    (Figure 2: "4 general purpose functional units").
+    """
+
+    MEMORY = "mem"
+    ADDER = "add"
+    MULTIPLIER = "mul"
+    DIVSQRT = "divsqrt"
+    GENERIC = "generic"
+
+
+#: Which functional-unit class executes each opcode (on the paper's
+#: heterogeneous configurations; the GENERIC configuration overrides this).
+_OPCODE_CLASS = {
+    Opcode.LOAD: FuClass.MEMORY,
+    Opcode.STORE: FuClass.MEMORY,
+    Opcode.SPILL_LOAD: FuClass.MEMORY,
+    Opcode.SPILL_STORE: FuClass.MEMORY,
+    Opcode.ADD: FuClass.ADDER,
+    Opcode.SUB: FuClass.ADDER,
+    Opcode.NEG: FuClass.ADDER,
+    Opcode.CMP: FuClass.ADDER,
+    Opcode.SELECT: FuClass.ADDER,
+    Opcode.COPY: FuClass.ADDER,
+    Opcode.NOP: FuClass.ADDER,
+    Opcode.MUL: FuClass.MULTIPLIER,
+    Opcode.DIV: FuClass.DIVSQRT,
+    Opcode.SQRT: FuClass.DIVSQRT,
+}
+
+_MEMORY_OPCODES = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.SPILL_LOAD, Opcode.SPILL_STORE}
+)
+
+_LOAD_OPCODES = frozenset({Opcode.LOAD, Opcode.SPILL_LOAD})
+_STORE_OPCODES = frozenset({Opcode.STORE, Opcode.SPILL_STORE})
+
+
+def opcode_fu_class(opcode: Opcode) -> FuClass:
+    """Return the functional-unit class that executes *opcode*."""
+    return _OPCODE_CLASS[opcode]
+
+
+def is_memory_opcode(opcode: Opcode) -> bool:
+    """True for loads and stores (including spill loads/stores)."""
+    return opcode in _MEMORY_OPCODES
+
+
+def is_load_opcode(opcode: Opcode) -> bool:
+    """True for ordinary and spill loads."""
+    return opcode in _LOAD_OPCODES
+
+
+def is_store_opcode(opcode: Opcode) -> bool:
+    """True for ordinary and spill stores."""
+    return opcode in _STORE_OPCODES
+
+
+@dataclass
+class Operation:
+    """One operation of a loop body.
+
+    An operation produces at most one value (``result``) and reads a list of
+    operands.  Operands are symbolic names resolved by the DDG builder:
+    results of other operations, loop-invariant scalars, or immediate
+    constants.  ``mem`` carries the accessed location for loads/stores so
+    memory dependence analysis can compute distances.
+
+    Attributes:
+        name: unique name within the loop body (also the value name for
+            value-producing operations).
+        opcode: the machine operation.
+        operands: names of the values read (in evaluation order).
+        mem: for memory operations, the accessed :class:`~repro.ir.loop.ArrayRef`
+            (or an opaque location string for spill homes); ``None`` otherwise.
+        produces_value: whether the operation defines a register value
+            (stores do not).
+    """
+
+    name: str
+    opcode: Opcode
+    operands: list[str] = field(default_factory=list)
+    mem: object | None = None
+
+    @property
+    def produces_value(self) -> bool:
+        return not is_store_opcode(self.opcode)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ops = ", ".join(self.operands)
+        loc = f" [{self.mem}]" if self.mem is not None else ""
+        return f"{self.name} = {self.opcode.value}({ops}){loc}"

@@ -1,0 +1,358 @@
+"""Parser for the mini loop language.
+
+The language describes the body of an innermost DO loop as a sequence of
+assignments, one per line::
+
+    x[i] = y[i] * a + y[i-3]
+    s = s + x[i] * b
+    if (y[i] > 0) z[i] = s / c
+
+* ``name[i+k]`` / ``name[i-k]`` / ``name[i]`` are array element references
+  with a constant offset from the induction variable.
+* Bare identifiers are scalars.  A scalar that is never assigned in the
+  loop is *loop-invariant*; a scalar read before its assignment refers to
+  the previous iteration's value (a loop-carried recurrence, e.g. the
+  reduction ``s = s + ...``).
+* Numeric literals are immediates (no register needed).
+* ``sqrt(e)`` is the square-root operation; ``/`` is division — both run on
+  the non-pipelined Div/Sqrt unit of the paper's configurations.
+* ``if (a REL b) stmt`` is a guarded statement; it is IF-converted on the
+  fly (the paper converts conditional bodies to single basic blocks with
+  IF-conversion [Allen et al. 83]): the guard becomes a compare, guarded
+  scalar assignments become selects, guarded stores consume the guard as an
+  extra operand (predicated store).
+* ``live_out s, t`` declares scalars whose final value is used after the
+  loop.
+
+The parser performs common-subexpression elimination on loads: each distinct
+``(array, offset)`` read produces one load.  Folding *different* offsets of
+the same array into one load plus a cross-iteration register dependence
+(Figure 2b of the paper) is done later by :mod:`repro.graph.builder`, since
+it is a dependence-graph optimization.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.loop import ArrayRef, LoopBody
+from repro.ir.operations import Opcode, Operation
+
+
+class LoopParseError(ValueError):
+    """Raised on malformed mini-language input."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<sym>==|!=|<=|>=|[-+*/()\[\],<>=]))"
+)
+
+
+def _tokenize(line: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            if line[pos:].strip() == "":
+                break
+            raise LoopParseError(f"unexpected character {line[pos]!r} in {line!r}")
+        tokens.append(match.group(match.lastgroup))
+        pos = match.end()
+    return tokens
+
+
+_REL_OPS = {"<", ">", "<=", ">=", "==", "!="}
+_FUNCTIONS = {"sqrt": Opcode.SQRT}
+
+
+@dataclass
+class _Value:
+    """An expression result: an operation result, an invariant scalar, or an
+    immediate constant.  Only operation results and invariants occupy
+    registers; immediates are folded into the consuming operation."""
+
+    name: str
+    kind: str  # "op" | "invariant" | "immediate"
+
+
+class _Parser:
+    """Recursive-descent parser building a :class:`LoopBody`."""
+
+    def __init__(self, name: str) -> None:
+        self.body = LoopBody(name=name)
+        self._loads: dict[ArrayRef, str] = {}
+        self._scalar_defs: dict[str, str] = {}
+        self._carried_reads: set[str] = set()
+        self._assigned: set[str] = set()
+        self._read_scalars: set[str] = set()
+        self._counters: dict[str, int] = {}
+        self._tokens: list[str] = []
+        self._pos = 0
+        self._store_index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    def _peek(self, ahead: int = 0) -> str | None:
+        index = self._pos + ahead
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> str:
+        if self._pos >= len(self._tokens):
+            raise LoopParseError("unexpected end of statement")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._next()
+        if got != token:
+            raise LoopParseError(f"expected {token!r}, got {got!r}")
+
+    def _fresh(self, base: str) -> str:
+        count = self._counters.get(base, 0) + 1
+        self._counters[base] = count
+        return f"{base}{count}"
+
+    # ------------------------------------------------------------------
+    # statement level
+    def parse_program(self, source: str) -> LoopBody:
+        self.body.source = source
+        for raw_line in source.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            for stmt in line.split(";"):
+                stmt = stmt.strip()
+                if stmt:
+                    self._parse_statement(stmt)
+        self._finalize()
+        return self.body
+
+    def _parse_statement(self, stmt: str) -> None:
+        if stmt.startswith("live_out"):
+            names = stmt[len("live_out"):].replace(",", " ").split()
+            self.body.live_out.update(names)
+            return
+        self._tokens = _tokenize(stmt)
+        self._pos = 0
+        if self._peek() == "if":
+            self._next()
+            self._parse_guarded()
+        else:
+            self._parse_assignment(guard=None)
+        if self._peek() is not None:
+            raise LoopParseError(f"trailing tokens in {stmt!r}")
+
+    def _parse_guarded(self) -> None:
+        self._expect("(")
+        left = self._expression()
+        rel = self._next()
+        if rel not in _REL_OPS:
+            raise LoopParseError(f"expected relational operator, got {rel!r}")
+        right = self._expression()
+        self._expect(")")
+        guard_op = self.body.add(
+            Operation(
+                name=self._fresh("cmp"),
+                opcode=Opcode.CMP,
+                operands=[left.name, right.name],
+            )
+        )
+        self._note_reads(left, right)
+        self._parse_assignment(guard=_Value(guard_op.name, "op"))
+
+    def _parse_assignment(self, guard: _Value | None) -> None:
+        target = self._next()
+        if not target[0].isalpha() and target[0] != "_":
+            raise LoopParseError(f"bad assignment target {target!r}")
+        if self._peek() == "[":
+            ref = self._array_index(target)
+            self._expect("=")
+            value = self._expression()
+            self._note_reads(value)
+            operands = [value.name]
+            if guard is not None:
+                operands.append(guard.name)
+            self._store_index += 1
+            self.body.add(
+                Operation(
+                    name=f"St{self._store_index}_{ref.array}",
+                    opcode=Opcode.STORE,
+                    operands=operands,
+                    mem=ref,
+                )
+            )
+        else:
+            self._expect("=")
+            value = self._expression()
+            self._note_reads(value)
+            if guard is not None:
+                old = self._scalar_value(target)
+                self._note_reads(old)
+                value = self._emit(
+                    Opcode.SELECT, [guard.name, value.name, old.name], hint=target
+                )
+            elif value.kind != "op":
+                # Bare alias like ``s = a`` or ``s = 3``: materialize a copy
+                # so the scalar has a defining operation.
+                value = self._emit(Opcode.COPY, [value.name], hint=target)
+            self._scalar_defs[target] = value.name
+            self._assigned.add(target)
+
+    # ------------------------------------------------------------------
+    # expression level
+    def _expression(self) -> _Value:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            right = self._term()
+            opcode = Opcode.ADD if op == "+" else Opcode.SUB
+            value = self._emit(opcode, [value.name, right.name])
+        return value
+
+    def _term(self) -> _Value:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            op = self._next()
+            right = self._factor()
+            opcode = Opcode.MUL if op == "*" else Opcode.DIV
+            value = self._emit(opcode, [value.name, right.name])
+        return value
+
+    def _factor(self) -> _Value:
+        token = self._peek()
+        if token == "-":
+            self._next()
+            inner = self._factor()
+            return self._emit(Opcode.NEG, [inner.name])
+        if token == "+":
+            self._next()
+            return self._factor()
+        return self._atom()
+
+    def _atom(self) -> _Value:
+        token = self._next()
+        if token == "(":
+            value = self._expression()
+            self._expect(")")
+            return value
+        if re.fullmatch(r"\d+\.\d*|\.\d+|\d+", token):
+            return _Value(f"#{token}", "immediate")
+        if not (token[0].isalpha() or token[0] == "_"):
+            raise LoopParseError(f"unexpected token {token!r}")
+        if token in _FUNCTIONS and self._peek() == "(":
+            self._next()
+            inner = self._expression()
+            self._expect(")")
+            return self._emit(_FUNCTIONS[token], [inner.name])
+        if self._peek() == "[":
+            ref = self._array_index(token)
+            return _Value(self._load_of(ref), "op")
+        return self._scalar_value(token)
+
+    def _array_index(self, array: str) -> ArrayRef:
+        self._expect("[")
+        token = self._next()
+        if token != "i":
+            raise LoopParseError(
+                f"array index must be i, i+k or i-k (got {token!r} in {array})"
+            )
+        offset = 0
+        if self._peek() in ("+", "-"):
+            sign = 1 if self._next() == "+" else -1
+            magnitude = self._next()
+            if not magnitude.isdigit():
+                raise LoopParseError(f"bad array offset in {array}")
+            offset = sign * int(magnitude)
+        self._expect("]")
+        return ArrayRef(array, offset)
+
+    # ------------------------------------------------------------------
+    # value resolution
+    def _load_of(self, ref: ArrayRef) -> str:
+        if ref not in self._loads:
+            suffix = "" if ref.offset == 0 else (
+                f"_m{-ref.offset}" if ref.offset < 0 else f"_p{ref.offset}"
+            )
+            op = self.body.add(
+                Operation(
+                    name=f"Ld_{ref.array}{suffix}",
+                    opcode=Opcode.LOAD,
+                    operands=[],
+                    mem=ref,
+                )
+            )
+            self._loads[ref] = op.name
+        return self._loads[ref]
+
+    def _scalar_value(self, name: str) -> _Value:
+        self._read_scalars.add(name)
+        if name in self._scalar_defs:
+            return _Value(self._scalar_defs[name], "op")
+        # Read before any assignment in this iteration.  If the scalar is
+        # assigned later in the loop this is a loop-carried read (previous
+        # iteration's value); otherwise it is a loop-invariant.  We cannot
+        # know yet, so record a carried placeholder resolved in _finalize.
+        self._carried_reads.add(name)
+        return _Value(f"@{name}", "carried")
+
+    def _emit(self, opcode: Opcode, operands: list[str], hint: str | None = None) -> _Value:
+        base = hint if hint is not None else opcode.value
+        name = self._fresh(base) if hint is None else self._fresh_named(hint)
+        op = self.body.add(Operation(name=name, opcode=opcode, operands=operands))
+        return _Value(op.name, "op")
+
+    def _fresh_named(self, hint: str) -> str:
+        if all(op.name != hint for op in self.body.operations):
+            return hint
+        return self._fresh(f"{hint}$")
+
+    def _note_reads(self, *values: _Value) -> None:
+        # Reads are recorded as encountered by _scalar_value/_load_of; this
+        # hook exists for symmetry and future bookkeeping.
+        return None
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        """Resolve carried placeholders and classify scalars."""
+        carried_defined = {
+            name for name in self._carried_reads if name in self._assigned
+        }
+        invariants = {
+            name for name in self._carried_reads if name not in self._assigned
+        }
+        self.body.invariants = invariants
+        # Reductions are live out by construction (their value feeds the next
+        # iteration and, conventionally, the code after the loop).
+        self.body.live_out.update(carried_defined)
+        for op in self.body.operations:
+            resolved = []
+            for operand in op.operands:
+                if operand.startswith("@"):
+                    scalar = operand[1:]
+                    if scalar in carried_defined:
+                        # previous iteration's definition: marker consumed by
+                        # the DDG builder as a distance-1 register edge.
+                        resolved.append(f"{self._scalar_defs[scalar]}@1")
+                    else:
+                        resolved.append(scalar)  # invariant
+                else:
+                    resolved.append(operand)
+            op.operands = resolved
+        # live_out names scalars; downstream passes track values by their
+        # defining operation, so translate.
+        self.body.live_out = {
+            self._scalar_defs.get(name, name) for name in self.body.live_out
+        }
+
+
+def parse_loop(source: str, name: str = "loop") -> LoopBody:
+    """Parse mini-language *source* into a :class:`LoopBody`.
+
+    Raises :class:`LoopParseError` on malformed input.
+    """
+    return _Parser(name).parse_program(source)

@@ -1,0 +1,30 @@
+"""Register lifetimes and register requirements.
+
+Implements the paper's Section 2.3/2.4 machinery: per-value lifetimes split
+into a *scheduling* component (cycles between producer and last consumer
+within the flat schedule) and a *distance* component (``delta * II`` for
+loop-carried uses); the ``MaxLive`` pressure pattern; register allocation
+on a rotating register file (end-fit with adjacency ordering, after Rau et
+al. 1992, the strategy the paper cites as almost always achieving
+MaxLive); and modulo variable expansion for machines without rotating
+files.
+"""
+
+from repro.lifetimes.lifetime import Lifetime, invariant_lifetimes, variant_lifetimes
+from repro.lifetimes.maxlive import max_live, pressure_pattern
+from repro.lifetimes.allocator import AllocationResult, allocate_registers
+from repro.lifetimes.mve import mve_expansion
+from repro.lifetimes.requirements import RegisterReport, register_requirements
+
+__all__ = [
+    "AllocationResult",
+    "Lifetime",
+    "RegisterReport",
+    "allocate_registers",
+    "invariant_lifetimes",
+    "max_live",
+    "mve_expansion",
+    "pressure_pattern",
+    "register_requirements",
+    "variant_lifetimes",
+]

@@ -1,0 +1,63 @@
+"""Register pressure pattern and MaxLive (paper Section 2.3, Figure 2f).
+
+Overlapping the lifetimes of all in-flight iterations yields an II-cycle
+pattern of live-value counts that repeats in the steady state; its maximum
+(``MaxLive``) is an accurate approximation of the schedule's register
+requirement — the paper's cited allocation strategies almost never need
+more than ``MaxLive + 1`` registers.
+
+A lifetime of length ``L`` starting at cycle ``s`` has, at kernel cycle
+``t``, exactly ``floor((L - o - 1) / II) + 1`` simultaneously live
+instances where ``o = (t - s) mod II`` — one per overlapping iteration.
+"""
+
+from __future__ import annotations
+
+from repro.lifetimes.lifetime import Lifetime, invariant_lifetimes, variant_lifetimes
+from repro.sched.schedule import Schedule
+
+
+def live_instances(lifetime: Lifetime, cycle: int, ii: int) -> int:
+    """Number of instances of *lifetime* live at kernel cycle *cycle*."""
+    length = lifetime.length
+    offset = (cycle - lifetime.start) % ii
+    if length <= offset:
+        return 0
+    return (length - offset - 1) // ii + 1
+
+
+def pressure_pattern(
+    schedule: Schedule,
+    include_invariants: bool = True,
+    lifetimes: list[Lifetime] | None = None,
+) -> list[int]:
+    """Live-value count per kernel cycle (the paper's Figure 2f)."""
+    if lifetimes is None:
+        lifetimes = variant_lifetimes(schedule)
+    ii = schedule.ii
+    pattern = [0] * ii
+    for lifetime in lifetimes:
+        if lifetime.is_invariant:
+            continue
+        for cycle in range(ii):
+            pattern[cycle] += live_instances(lifetime, cycle, ii)
+    if include_invariants:
+        invariants = len(schedule.ddg.invariants)
+        pattern = [count + invariants for count in pattern]
+    return pattern
+
+
+def max_live(schedule: Schedule, include_invariants: bool = True) -> int:
+    """``MaxLive``: the maximum number of simultaneously live values."""
+    pattern = pressure_pattern(schedule, include_invariants)
+    return max(pattern) if pattern else 0
+
+
+def distance_component_floor(schedule: Schedule) -> int:
+    """Registers the schedule can never go below however much the II grows:
+    each loop-carried lifetime keeps ``delta`` instances permanently live,
+    and each invariant keeps one (Section 3.1's non-convergence causes)."""
+    floor = len(schedule.ddg.invariants)
+    for lifetime in variant_lifetimes(schedule):
+        floor += lifetime.dist_component // schedule.ii
+    return floor

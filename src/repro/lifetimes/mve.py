@@ -1,0 +1,61 @@
+"""Modulo variable expansion (Lam 1988) — compile-time renaming for
+machines *without* rotating register files.
+
+Values living longer than II cycles are redefined before their previous
+instance dies; MVE unrolls the kernel enough times that each instance can
+be given a distinct compile-time name.  A value of lifetime ``L`` needs
+``ceil(L / II)`` names; the kernel is unrolled by the least common multiple
+of all name counts so the renaming pattern is periodic.
+
+The paper assumes rotating register files instead (Section 2.3), so MVE is
+an extension here: it quantifies the code-size cost a rotating file avoids
+and supplies the renamed kernel for the codegen example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.lifetimes.lifetime import variant_lifetimes
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class MVEResult:
+    """Expansion plan: kernel unroll factor, per-value name counts, and the
+    total register names needed (sum of copies + one per invariant)."""
+
+    unroll: int
+    copies: dict[str, int] = field(default_factory=dict)
+    registers: int = 0
+
+    def names_for(self, value: str) -> list[str]:
+        count = self.copies.get(value, 1)
+        if count == 1:
+            return [value]
+        return [f"{value}.{index}" for index in range(count)]
+
+
+def mve_expansion(schedule: Schedule, max_unroll: int = 64) -> MVEResult:
+    """Compute the MVE plan for *schedule*.
+
+    ``max_unroll`` guards against pathological lcm blow-up; the unroll is
+    capped there (renaming then needs explicit copies, which we count as
+    one extra name — the classic engineering fallback).
+    """
+    copies: dict[str, int] = {}
+    for lifetime in variant_lifetimes(schedule):
+        if lifetime.length <= 0:
+            continue
+        copies[lifetime.value] = max(
+            1, math.ceil(lifetime.length / schedule.ii)
+        )
+    unroll = 1
+    for count in copies.values():
+        unroll = math.lcm(unroll, count)
+        if unroll > max_unroll:
+            unroll = max_unroll
+            break
+    registers = sum(copies.values()) + len(schedule.ddg.invariants)
+    return MVEResult(unroll=unroll, copies=copies, registers=registers)

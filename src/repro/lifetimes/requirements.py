@@ -1,0 +1,69 @@
+"""Register requirement of a schedule — the quantity every driver in
+:mod:`repro.core` compares against the machine's register file.
+
+Two measures, as in the paper:
+
+* ``MaxLive + invariants`` — the fast lower-bound estimate used inside the
+  examples and the spill-quantity estimation (Section 4.5);
+* the actual rotating-file allocation plus one static register per
+  invariant — what Section 5 measures ("we measure the actual register
+  requirements after register allocation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lifetimes.allocator import allocate_registers
+from repro.lifetimes.lifetime import variant_lifetimes
+from repro.lifetimes.maxlive import max_live
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class RegisterReport:
+    """Register demand of one schedule."""
+
+    max_live: int
+    allocated: int
+    invariants: int
+    exact: bool
+
+    @property
+    def total(self) -> int:
+        """Registers the loop needs on the target machine."""
+        return self.allocated + self.invariants
+
+    @property
+    def estimate(self) -> int:
+        """MaxLive-based lower bound (variants + invariants)."""
+        return self.max_live + self.invariants
+
+    def fits(self, available: int) -> bool:
+        return self.total <= available
+
+
+def register_requirements(schedule: Schedule, exact: bool = True) -> RegisterReport:
+    """Measure *schedule*'s register demand.
+
+    ``exact=True`` runs the end-fit allocator (the paper's Section 5
+    methodology); ``exact=False`` returns the MaxLive approximation in both
+    fields (the paper's examples, and much faster).
+    """
+    lifetimes = [lt for lt in variant_lifetimes(schedule) if lt.length > 0]
+    live_bound = max_live(schedule, include_invariants=False)
+    invariants = len(schedule.ddg.invariants)
+    if not exact:
+        return RegisterReport(
+            max_live=live_bound,
+            allocated=live_bound,
+            invariants=invariants,
+            exact=False,
+        )
+    allocation = allocate_registers(schedule, lifetimes)
+    return RegisterReport(
+        max_live=live_bound,
+        allocated=allocation.registers,
+        invariants=invariants,
+        exact=True,
+    )

@@ -1,0 +1,30 @@
+"""Machine model: functional units, latencies, configurations, and the
+modulo reservation table.
+
+The paper evaluates three configurations (Section 5): ``P1L4`` (one unit of
+each class, adder/multiplier latency 4), ``P2L4`` (two of each), ``P2L6``
+(two of each, adder/multiplier latency 6).  All share load latency 2, store
+latency 1, divide 17, square root 30; every unit is fully pipelined except
+the Div/Sqrt units.  The introductory example (Figure 2) instead uses four
+general-purpose units with uniform latency 2 — :func:`generic_machine`.
+"""
+
+from repro.machine.machine import (
+    MachineConfig,
+    generic_machine,
+    p1l4,
+    p2l4,
+    p2l6,
+    paper_configurations,
+)
+from repro.machine.mrt import ModuloReservationTable
+
+__all__ = [
+    "MachineConfig",
+    "ModuloReservationTable",
+    "generic_machine",
+    "p1l4",
+    "p2l4",
+    "p2l6",
+    "paper_configurations",
+]

@@ -1,0 +1,139 @@
+"""Machine configurations (paper Section 5).
+
+A :class:`MachineConfig` describes how many functional units of each class
+exist, which are pipelined, and each opcode's latency.  Latency semantics
+follow the paper's execution model: a value is alive from the *start* of
+its producer to the start of its last consumer, so latencies constrain
+scheduling distances, and a flow-dependent consumer may start
+``latency(producer)`` cycles after the producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.ddg import DDG
+from repro.ir.operations import FuClass, Opcode, opcode_fu_class
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """An execution target for modulo scheduling.
+
+    Attributes:
+        name: configuration label (``P1L4`` …).
+        fu_counts: number of units per functional-unit class.
+        non_pipelined: classes whose units accept a new operation only
+            after the previous one completed (the paper's Div/Sqrt units).
+        latencies: cycles from operation start until a flow-dependent
+            consumer may start.
+        generic: route *every* opcode to the ``GENERIC`` class (uniform
+            general-purpose units, as in the paper's Figure 2 example).
+    """
+
+    name: str
+    fu_counts: dict[FuClass, int]
+    latencies: dict[Opcode, int]
+    non_pipelined: frozenset[FuClass] = frozenset()
+    generic: bool = False
+
+    def fu_class(self, opcode: Opcode) -> FuClass:
+        if self.generic:
+            return FuClass.GENERIC
+        return opcode_fu_class(opcode)
+
+    def units_of(self, fu_class: FuClass) -> int:
+        return self.fu_counts.get(fu_class, 0)
+
+    def is_pipelined(self, fu_class: FuClass) -> bool:
+        return fu_class not in self.non_pipelined
+
+    def latency(self, opcode: Opcode) -> int:
+        return self.latencies[opcode]
+
+    def occupancy(self, opcode: Opcode) -> int:
+        """Cycles an operation keeps its unit busy: 1 when pipelined, the
+        full latency otherwise."""
+        if self.is_pipelined(self.fu_class(opcode)):
+            return 1
+        return self.latency(opcode)
+
+    def latencies_for(self, ddg: DDG) -> dict[str, int]:
+        """Per-node latency map used by the graph analyses."""
+        return {name: self.latency(node.opcode) for name, node in ddg.nodes.items()}
+
+    def memory_units(self) -> int:
+        """Load/store units — the 'memory busses' of Section 4.4."""
+        if self.generic:
+            return self.fu_counts.get(FuClass.GENERIC, 0)
+        return self.fu_counts.get(FuClass.MEMORY, 0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _paper_latencies(fp_latency: int) -> dict[Opcode, int]:
+    """Common latency table: store 1, load 2, divide 17, square root 30;
+    adder/multiplier-class operations take *fp_latency* cycles."""
+    return {
+        Opcode.LOAD: 2,
+        Opcode.SPILL_LOAD: 2,
+        Opcode.STORE: 1,
+        Opcode.SPILL_STORE: 1,
+        Opcode.DIV: 17,
+        Opcode.SQRT: 30,
+        Opcode.ADD: fp_latency,
+        Opcode.SUB: fp_latency,
+        Opcode.NEG: fp_latency,
+        Opcode.MUL: fp_latency,
+        Opcode.CMP: fp_latency,
+        Opcode.SELECT: fp_latency,
+        Opcode.COPY: 1,
+        Opcode.NOP: 1,
+    }
+
+
+def _paper_config(name: str, units_per_class: int, fp_latency: int) -> MachineConfig:
+    return MachineConfig(
+        name=name,
+        fu_counts={
+            FuClass.MEMORY: units_per_class,
+            FuClass.ADDER: units_per_class,
+            FuClass.MULTIPLIER: units_per_class,
+            FuClass.DIVSQRT: units_per_class,
+        },
+        latencies=_paper_latencies(fp_latency),
+        non_pipelined=frozenset({FuClass.DIVSQRT}),
+    )
+
+
+def p1l4() -> MachineConfig:
+    """1 load/store, 1 Div/Sqrt, 1 adder, 1 multiplier; FP latency 4."""
+    return _paper_config("P1L4", 1, 4)
+
+
+def p2l4() -> MachineConfig:
+    """2 units of each class; FP latency 4."""
+    return _paper_config("P2L4", 2, 4)
+
+
+def p2l6() -> MachineConfig:
+    """2 units of each class; FP latency 6 (the most aggressive target)."""
+    return _paper_config("P2L6", 2, 6)
+
+
+def paper_configurations() -> list[MachineConfig]:
+    """The three configurations of the paper's evaluation, in paper order."""
+    return [p1l4(), p2l4(), p2l6()]
+
+
+def generic_machine(units: int = 4, latency: int = 2, name: str | None = None) -> MachineConfig:
+    """Uniform machine of the paper's running example (Figure 2): *units*
+    general-purpose fully-pipelined units, every operation taking
+    *latency* cycles."""
+    return MachineConfig(
+        name=name or f"G{units}L{latency}",
+        fu_counts={FuClass.GENERIC: units},
+        latencies={opcode: latency for opcode in Opcode},
+        generic=True,
+    )

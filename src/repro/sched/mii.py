@@ -1,0 +1,61 @@
+"""Minimum initiation interval (paper Section 2.2).
+
+``MII = max(ResMII, RecMII)``:
+
+* ``ResMII`` — the most saturated resource class bounds the II: with
+  ``busy`` unit-cycles of work per iteration on ``n`` units, at least
+  ``ceil(busy / n)`` cycles must elapse between iterations.  Pipelined
+  units contribute one busy cycle per operation, non-pipelined units the
+  operation's full latency; a non-pipelined operation additionally needs
+  ``II >= latency`` because it would collide with its own next instance.
+
+* ``RecMII`` — every dependence cycle ``c`` needs
+  ``II >= ceil(latency(c) / distance(c))``; see
+  :func:`repro.graph.analysis.recurrence_mii_of_scc`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.analysis import recurrence_components, recurrence_mii_of_scc
+from repro.graph.ddg import DDG
+from repro.ir.operations import FuClass
+from repro.machine.machine import MachineConfig
+
+
+def res_mii(ddg: DDG, machine: MachineConfig) -> int:
+    """Resource-constrained lower bound on the II."""
+    busy: dict[FuClass, int] = {}
+    single_op_floor = 1
+    for node in ddg.nodes.values():
+        fu_class = machine.fu_class(node.opcode)
+        occupancy = machine.occupancy(node.opcode)
+        busy[fu_class] = busy.get(fu_class, 0) + occupancy
+        single_op_floor = max(single_op_floor, occupancy)
+    bound = single_op_floor
+    for fu_class, cycles in busy.items():
+        units = machine.units_of(fu_class)
+        if units == 0:
+            raise ValueError(
+                f"{machine.name} has no {fu_class.value} unit but the loop"
+                " needs one"
+            )
+        bound = max(bound, math.ceil(cycles / units))
+    return bound
+
+
+def rec_mii(ddg: DDG, machine: MachineConfig) -> int:
+    """Recurrence-constrained lower bound on the II."""
+    latencies = machine.latencies_for(ddg)
+    bound = 1
+    for component in recurrence_components(ddg):
+        bound = max(bound, recurrence_mii_of_scc(ddg, component, latencies))
+    return bound
+
+
+def compute_mii(ddg: DDG, machine: MachineConfig) -> int:
+    """``max(ResMII, RecMII)`` — the starting II of every scheduler."""
+    if not ddg.nodes:
+        return 1
+    return max(res_mii(ddg, machine), rec_mii(ddg, machine))

@@ -1,0 +1,147 @@
+"""Node ordering for HRMS-family schedulers.
+
+HRMS's register sensitivity comes from its pre-ordering: nodes are emitted
+so that, when each node is scheduled, its already-placed neighbours lie on
+one side only (all predecessors or all successors).  The scheduler can then
+place the node as close as possible to them, shortening lifetimes without
+backtracking.  This module implements the ordering as formulated by the
+same authors (hypernode reduction, MICRO-28 1995; restated as the
+partition + alternating bottom-up/top-down traversal in their Swing Modulo
+Scheduling work):
+
+1. Partition the nodes: the recurrence with the largest RecMII first, then
+   each next recurrence together with all nodes on paths between it and the
+   nodes already taken, and finally the remaining (acyclic) nodes.
+2. Order each subset alternating directions — consume nodes whose
+   predecessors are ordered (top-down, highest *height* first) until
+   exhausted, then nodes whose successors are ordered (bottom-up, highest
+   *depth* first), and so on.  Ties break on lower mobility, then name,
+   keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import asap_alap, recurrence_components, recurrence_mii_of_scc
+from repro.graph.ddg import DDG
+
+
+def _reachable(ddg: DDG, seeds: set[str], forward: bool) -> set[str]:
+    seen = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        name = frontier.pop()
+        neighbours = (
+            ddg.successors(name) if forward else ddg.predecessors(name)
+        )
+        for other in neighbours:
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return seen
+
+
+def partition_sets(ddg: DDG, latencies: dict[str, int]) -> list[set[str]]:
+    """Recurrence-priority partition (step 1 above)."""
+    recurrences = recurrence_components(ddg)
+    recurrences.sort(
+        key=lambda comp: (
+            -recurrence_mii_of_scc(ddg, comp, latencies),
+            min(comp),
+        )
+    )
+    sets: list[set[str]] = []
+    taken: set[str] = set()
+    for component in recurrences:
+        subset = set(component) - taken
+        if taken:
+            down = _reachable(ddg, taken, forward=True)
+            up = _reachable(ddg, set(component), forward=False)
+            subset |= (down & up) - taken
+            down_rec = _reachable(ddg, set(component), forward=True)
+            up_taken = _reachable(ddg, taken, forward=False)
+            subset |= (down_rec & up_taken) - taken
+        if subset:
+            sets.append(subset)
+            taken |= subset
+    rest = set(ddg.nodes) - taken
+    if rest:
+        sets.append(rest)
+    return sets
+
+
+def order_nodes(
+    ddg: DDG,
+    latencies: dict[str, int],
+    ii: int,
+    depth: dict[str, int] | None = None,
+    alap: dict[str, int] | None = None,
+) -> list[str]:
+    """Scheduling order with the one-sided-neighbour property (step 2)."""
+    if depth is None or alap is None:
+        depth, alap = asap_alap(ddg, latencies, ii)
+    span = max(alap.values(), default=0)
+    height = {name: span - alap[name] for name in ddg.nodes}
+    mobility = {name: alap[name] - depth[name] for name in ddg.nodes}
+
+    order: list[str] = []
+    ordered: set[str] = set()
+
+    def top_down_key(name: str) -> tuple:
+        return (height[name], -mobility[name], name)
+
+    def bottom_up_key(name: str) -> tuple:
+        return (depth[name], -mobility[name], name)
+
+    for subset in partition_sets(ddg, latencies):
+        pending = set(subset) - ordered
+        direction = "top-down"
+        while pending:
+            pred_ready = {
+                name for name in pending if ddg.predecessors(name) & ordered
+            }
+            succ_ready = {
+                name for name in pending if ddg.successors(name) & ordered
+            }
+            if direction == "top-down" and pred_ready:
+                frontier = pred_ready
+            elif direction == "bottom-up" and succ_ready:
+                frontier = succ_ready
+            elif pred_ready:
+                direction, frontier = "top-down", pred_ready
+            elif succ_ready:
+                direction, frontier = "bottom-up", succ_ready
+            else:
+                # disconnected seed: start top-down from the most critical
+                direction = "top-down"
+                frontier = {max(pending, key=top_down_key)}
+            while frontier:
+                frontier &= pending  # drop nodes ordered via another path
+                if not frontier:
+                    break
+                # Prefer candidates with ordered neighbours on one side only
+                # (the HRMS property); fall back to the rest when a node is
+                # genuinely trapped between ordered nodes.
+                clean = {
+                    name
+                    for name in frontier
+                    if not (
+                        ddg.predecessors(name) & ordered
+                        and ddg.successors(name) & ordered
+                    )
+                }
+                pool = clean or frontier
+                if direction == "top-down":
+                    name = max(pool, key=top_down_key)
+                else:
+                    name = max(pool, key=bottom_up_key)
+                order.append(name)
+                ordered.add(name)
+                pending.discard(name)
+                frontier.discard(name)
+                if direction == "top-down":
+                    frontier |= ddg.successors(name) & pending
+                else:
+                    frontier |= ddg.predecessors(name) & pending
+            # frontier exhausted: alternate
+            direction = "bottom-up" if direction == "top-down" else "top-down"
+    return order

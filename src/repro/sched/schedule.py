@@ -1,0 +1,162 @@
+"""The result of modulo scheduling one loop.
+
+A :class:`Schedule` maps every node to a start cycle within the flat
+(single-iteration) schedule.  Row ``t mod II`` and stage ``t div II``
+follow the paper's kernel view: the kernel has ``II`` rows, one iteration
+spans ``SC`` stages, and ``SC - 1`` iterations overlap in the steady state
+beyond the current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.analysis import edge_latency
+from repro.graph.ddg import DDG
+from repro.machine.machine import MachineConfig
+from repro.machine.mrt import ModuloReservationTable
+
+
+@dataclass
+class Schedule:
+    """An II-periodic schedule of ``ddg`` on ``machine``.
+
+    ``times`` are normalized so the earliest operation starts at cycle 0.
+    """
+
+    ddg: DDG
+    machine: MachineConfig
+    ii: int
+    times: dict[str, int]
+    scheduler: str = "?"
+    effort_placements: int = 0
+    effort_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.times:
+            shift = min(self.times.values())
+            if shift != 0:
+                self.times = {n: t - shift for n, t in self.times.items()}
+
+    # ------------------------------------------------------------------
+    def time(self, name: str) -> int:
+        return self.times[name]
+
+    def row(self, name: str) -> int:
+        """Kernel row (cycle within the II)."""
+        return self.times[name] % self.ii
+
+    def stage(self, name: str) -> int:
+        return self.times[name] // self.ii
+
+    @property
+    def stage_count(self) -> int:
+        """Number of stages one iteration spans (SC)."""
+        if not self.times:
+            return 1
+        last = max(self.times[n] for n in self.times)
+        return last // self.ii + 1
+
+    @property
+    def span(self) -> int:
+        """Cycles from the first operation's start to the last's start."""
+        if not self.times:
+            return 0
+        return max(self.times.values())
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert the schedule is valid: every dependence satisfied, every
+        fused pair at its exact offset, and the modulo reservation table
+        conflict-free.  Raises ``AssertionError`` otherwise."""
+        latencies = self.machine.latencies_for(self.ddg)
+        for edge in self.ddg.edges:
+            slack = (
+                self.times[edge.dst]
+                + self.ii * edge.distance
+                - self.times[edge.src]
+                - edge_latency(edge, latencies)
+            )
+            if slack < 0:
+                raise AssertionError(
+                    f"dependence violated by {slack} cycles: {edge} "
+                    f"(t[{edge.src}]={self.times[edge.src]},"
+                    f" t[{edge.dst}]={self.times[edge.dst]}, II={self.ii})"
+                )
+            if edge.fused and edge.distance == 0:
+                expected = self.times[edge.src] + latencies[edge.src]
+                if self.times[edge.dst] != expected:
+                    raise AssertionError(
+                        f"complex operation broken: {edge.dst} must start"
+                        f" exactly at {expected}, starts at"
+                        f" {self.times[edge.dst]}"
+                    )
+        mrt = ModuloReservationTable(self.machine, self.ii)
+        for name, node in self.ddg.nodes.items():
+            if not mrt.can_place(node.opcode, self.times[name]):
+                raise AssertionError(
+                    f"resource conflict placing {name} at {self.times[name]}"
+                    f" (II={self.ii})"
+                )
+            mrt.place(name, node.opcode, self.times[name])
+
+    # ------------------------------------------------------------------
+    def cycles_for(self, iterations: int) -> int:
+        """Execution cycles for *iterations* iterations: ramp-up fills
+        ``SC - 1`` stages, then one iteration completes every II cycles."""
+        if iterations <= 0:
+            return 0
+        return (iterations + self.stage_count - 1) * self.ii
+
+    def memory_utilization(self) -> float:
+        """Fraction of memory-unit slots busy (bus usage, Section 4.4)."""
+        mrt = ModuloReservationTable(self.machine, self.ii)
+        for name, node in self.ddg.nodes.items():
+            mrt.place(name, node.opcode, self.times[name])
+        from repro.ir.operations import FuClass
+
+        fu_class = (
+            FuClass.GENERIC if self.machine.generic else FuClass.MEMORY
+        )
+        return mrt.utilization(fu_class)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows: dict[int, list[str]] = {}
+        for name in sorted(self.times, key=self.times.get):
+            rows.setdefault(self.times[name], []).append(name)
+        lines = [
+            f"Schedule[{self.scheduler}] of {self.ddg.name}:"
+            f" II={self.ii} SC={self.stage_count}"
+        ]
+        for t in sorted(rows):
+            lines.append(f"  {t:4d}: {', '.join(rows[t])}")
+        return "\n".join(lines)
+
+
+@dataclass
+class KernelSlot:
+    """One operation instance in the kernel (row + originating stage)."""
+
+    name: str
+    row: int
+    stage: int
+    opcode: object = None
+
+    def __str__(self) -> str:
+        return f"{self.name}_{self.stage}"
+
+
+def kernel_rows(schedule: Schedule) -> list[list[KernelSlot]]:
+    """The kernel as the paper draws it (Figure 2e): II rows; each
+    operation appears once, subscripted with its stage."""
+    rows: list[list[KernelSlot]] = [[] for _ in range(schedule.ii)]
+    for name in sorted(schedule.times, key=schedule.times.get):
+        node = schedule.ddg.nodes[name]
+        slot = KernelSlot(
+            name=name,
+            row=schedule.row(name),
+            stage=schedule.stage(name),
+            opcode=node.opcode,
+        )
+        rows[slot.row].append(slot)
+    return rows

@@ -1,0 +1,222 @@
+"""Stage scheduling post-pass (Eichenberger & Davidson, MICRO-28 1995 —
+the paper's reference [13]).
+
+A post-pass that reduces the register requirements of an existing modulo
+schedule *without* touching its II or its resource usage: moving an
+operation by whole multiples of II keeps its kernel row — and therefore
+its reservation-table slots — unchanged, so only the dependence
+inequalities and the lifetimes move.
+
+The pass greedily re-stages one unit at a time, choosing the stage that
+minimizes the schedule's MaxLive (computed incrementally on the pressure
+pattern; ties break on total lifetime stretch, then on smaller movement),
+and sweeps until a fixed point.
+
+In the paper's taxonomy this is the "post-pass" class of register
+reduction: useful, but bounded — it can never fix a loop whose pressure
+floor exceeds the register file, which is why the iterative spilling
+driver remains necessary.  It composes with everything here: run it on
+any schedule, including spilled ones (complex-operation groups move as a
+whole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import edge_latency
+from repro.graph.ddg import DDG
+from repro.sched.groups import Unit, build_units
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class StageScheduleResult:
+    """Outcome of the post-pass."""
+
+    schedule: Schedule
+    moves: int
+    max_live_before: int
+    max_live_after: int
+
+    @property
+    def registers_saved(self) -> int:
+        return self.max_live_before - self.max_live_after
+
+
+def reduce_stages(schedule: Schedule, max_sweeps: int = 6) -> StageScheduleResult:
+    """Greedily re-stage units to minimize MaxLive at the same II."""
+    ddg = schedule.ddg
+    machine = schedule.machine
+    ii = schedule.ii
+    latencies = machine.latencies_for(ddg)
+    times = dict(schedule.times)
+    units = build_units(ddg, latencies)
+    distinct = {unit.leader: unit for unit in units.values()}
+    producers = [node.name for node in ddg.producers()]
+
+    pattern = [0] * ii
+    for name in producers:
+        _accumulate(pattern, _span(ddg, latencies, ii, times, name), ii, +1)
+    before = max(pattern) if pattern else 0
+
+    moves = 0
+    for _ in range(max_sweeps):
+        changed = False
+        for unit in distinct.values():
+            shift = _best_shift(
+                unit, ddg, latencies, ii, times, pattern, producers
+            )
+            if shift:
+                _apply_shift(
+                    unit, ddg, latencies, ii, times, pattern, shift
+                )
+                moves += 1
+                changed = True
+        if not changed:
+            break
+
+    after = max(pattern) if pattern else 0
+    improved = Schedule(
+        ddg=ddg,
+        machine=machine,
+        ii=ii,
+        times=times,
+        scheduler=f"{schedule.scheduler}+stages",
+    )
+    improved.validate()
+    return StageScheduleResult(improved, moves, before, after)
+
+
+# ----------------------------------------------------------------------
+def _span(
+    ddg: DDG, latencies, ii: int, times, producer: str
+) -> tuple[int, int]:
+    """(start, length) of *producer*'s lifetime under *times*."""
+    start = times[producer]
+    edges = ddg.reg_out_edges(producer)
+    if not edges:
+        return start, latencies[producer]
+    end = max(times[e.dst] + ii * e.distance for e in edges)
+    return start, max(end - start, 0)
+
+
+def _accumulate(pattern, span, ii, sign):
+    start, length = span
+    for cycle in range(ii):
+        offset = (cycle - start) % ii
+        if length > offset:
+            pattern[cycle] += sign * ((length - offset - 1) // ii + 1)
+
+
+def _affected_producers(unit: Unit, ddg: DDG, producers) -> list[str]:
+    """Lifetimes whose span depends on the unit's position: values defined
+    by members, plus external values consumed by members."""
+    names = set()
+    for member in unit.members:
+        if member in producers:
+            names.add(member)
+        for edge in ddg.reg_in_edges(member):
+            if edge.src not in unit.members:
+                names.add(edge.src)
+    producer_set = set(producers)
+    return [name for name in names if name in producer_set]
+
+
+def _stage_window(unit, ddg, latencies, ii, times):
+    """Feasible leader-start range given all external dependences."""
+    low = None
+    high = None
+    for member, offset in unit:
+        for edge in ddg.in_edges(member):
+            if edge.src in unit.members:
+                continue
+            bound = (
+                times[edge.src]
+                + edge_latency(edge, latencies)
+                - ii * edge.distance
+                - offset
+            )
+            low = bound if low is None else max(low, bound)
+        for edge in ddg.out_edges(member):
+            if edge.dst in unit.members:
+                continue
+            bound = (
+                times[edge.dst]
+                - edge_latency(edge, latencies)
+                + ii * edge.distance
+                - offset
+            )
+            high = bound if high is None else min(high, bound)
+    leader_time = times[unit.leader]
+    if low is None:
+        low = leader_time - 16 * ii  # sources float; bound the search
+    if high is None:
+        high = leader_time + 16 * ii
+    return low, high
+
+
+def _stretch(unit, ddg, ii, times, delta):
+    """Tiebreak objective: total incident lifetime stretch at shift
+    *delta* cycles."""
+    cost = 0
+    for member, _ in unit:
+        start = times[member] + delta
+        for edge in ddg.reg_in_edges(member):
+            if edge.src not in unit.members:
+                cost += max(0, start + ii * edge.distance - times[edge.src])
+        for edge in ddg.reg_out_edges(member):
+            if edge.dst not in unit.members:
+                cost += max(0, times[edge.dst] + ii * edge.distance - start)
+    return cost
+
+
+def _best_shift(unit, ddg, latencies, ii, times, pattern, producers):
+    low, high = _stage_window(unit, ddg, latencies, ii, times)
+    leader_time = times[unit.leader]
+    if low > high:
+        return 0
+    shift_low = -((leader_time - low) // ii)
+    shift_high = (high - leader_time) // ii
+    if shift_low == shift_high == 0:
+        return 0
+
+    affected = _affected_producers(unit, ddg, producers)
+    # remove the affected contributions once; evaluate candidates on top
+    base = list(pattern)
+    for name in affected:
+        _accumulate(base, _span(ddg, latencies, ii, times, name), ii, -1)
+
+    best_key = None
+    best_shift = 0
+    for shift in range(shift_low, shift_high + 1):
+        delta = shift * ii
+        for member, _ in unit:
+            times[member] += delta
+        candidate = list(base)
+        for name in affected:
+            _accumulate(
+                candidate, _span(ddg, latencies, ii, times, name), ii, +1
+            )
+        key = (
+            max(candidate) if candidate else 0,
+            _stretch(unit, ddg, ii, times, 0),
+            abs(shift),
+        )
+        for member, _ in unit:
+            times[member] -= delta
+        if best_key is None or key < best_key:
+            best_key, best_shift = key, shift
+    return best_shift
+
+
+def _apply_shift(unit, ddg, latencies, ii, times, pattern, shift):
+    producers_here = _affected_producers(
+        unit, ddg, [n.name for n in ddg.producers()]
+    )
+    for name in producers_here:
+        _accumulate(pattern, _span(ddg, latencies, ii, times, name), ii, -1)
+    for member, _ in unit:
+        times[member] += shift * ii
+    for name in producers_here:
+        _accumulate(pattern, _span(ddg, latencies, ii, times, name), ii, +1)

@@ -1,0 +1,28 @@
+"""Loop workloads.
+
+The paper evaluates 1258 innermost DO loops from the Perfect Club.  Those
+sources are not redistributable, so this package supplies the calibrated
+substitute described in DESIGN.md: a library of classic numerical kernels
+written in the mini loop language, hand-shaped analogues of the paper's
+two running-example loops (APSI 47 and APSI 50), and a seeded synthetic
+generator producing a loop population with the same qualitative strata
+(low-pressure loops, high-pressure convergent loops, and topology-bound
+loops whose register demand never converges under II increase).
+"""
+
+from repro.workloads.kernels import NAMED_KERNELS, named_kernel
+from repro.workloads.apsi import apsi47_like, apsi50_like
+from repro.workloads.synthetic import LoopSpec, generate_loop_spec
+from repro.workloads.suite import Workload, perfect_club_like_suite, suite_size
+
+__all__ = [
+    "LoopSpec",
+    "NAMED_KERNELS",
+    "Workload",
+    "apsi47_like",
+    "apsi50_like",
+    "generate_loop_spec",
+    "named_kernel",
+    "perfect_club_like_suite",
+    "suite_size",
+]

@@ -1,0 +1,84 @@
+"""Analogues of the paper's two running-example loops.
+
+The paper illustrates both register-reduction techniques on two loops of
+APSI (Perfect Club, program ADM):
+
+* **loop 47** (first loop of subroutine CPADE): high register pressure
+  dominated by *scheduling* components — increasing the II converges, but
+  slowly (54 registers at II=7; needs II=13 for 32 registers, II=31
+  for 16);
+* **loop 50** (second loop of PADEC): one more register than loop 47, but
+  a large *distance* component (22 registers from loop-carried uses) plus
+  invariants put a floor above 32 — increasing the II plateaus at 41
+  registers and never converges; spilling fixes it.
+
+The Fortran sources are not redistributable; these generators build loops
+with the same pressure anatomy, which is all the paper's figures depend
+on.  ``apsi47_like`` stacks deep chains over streams with offset-1 reuse
+(big scheduling component, tiny distance component); ``apsi50_like`` taps
+read-only streams at large offsets (big distance component) and uses many
+invariant coefficients.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import ddg_from_source
+from repro.graph.ddg import DDG
+
+
+def apsi47_source(streams: int = 6, carried: int = 3) -> str:
+    """Deep-chain loop whose pressure is almost all scheduling component.
+
+    ``streams`` parallel two-load combinations feed two rings of products
+    (every intermediate is consumed four times, far apart, stretching the
+    lifetimes); only ``carried`` streams reuse their previous iteration's
+    element, and coefficients are shared, so the register floor stays
+    below 16 — the II-increase search must converge the way the paper's
+    loop 47 does, just very slowly."""
+    lines = []
+    for k in range(1, streams + 1):
+        if k <= carried:
+            lines.append(f"t{k} = a*A{k}[i] + b*A{k}[i-1]")
+        else:
+            lines.append(f"t{k} = a*A{k}[i] + b*B{k}[i]")
+    ring = [f"t{k}*t{k % streams + 1}" for k in range(1, streams + 1)]
+    lines.append("z[i] = " + " + ".join(ring))
+    ring2 = [f"t{k}*t{(k + 1) % streams + 1}" for k in range(1, streams + 1)]
+    lines.append("w[i] = " + " + ".join(ring2))
+    return "\n".join(lines)
+
+
+def apsi50_source(taps: tuple[int, ...] = (0, 1, 3, 7, 12), arrays: int = 2) -> str:
+    """Large-offset taps on read-only streams: the distance components (and
+    the invariant coefficients) keep the register demand above a floor no
+    II can reduce."""
+    lines = []
+    terms_by_array: dict[str, list[str]] = {}
+    coeff = 0
+    for a in range(1, arrays + 1):
+        name = f"X{a}"
+        terms = []
+        for tap in taps:
+            coeff += 1
+            index = "i" if tap == 0 else f"i-{tap}"
+            terms.append(f"c{coeff}*{name}[{index}]")
+        terms_by_array[name] = terms
+    for index, (name, terms) in enumerate(terms_by_array.items(), start=1):
+        lines.append(f"p{index} = " + " + ".join(terms))
+    combined = " + ".join(f"p{index}" for index in range(1, arrays + 1))
+    lines.append(f"z[i] = {combined}")
+    lines.append("s = s + z[i]*scale")
+    return "\n".join(lines)
+
+
+def apsi47_like(streams: int = 6, carried: int = 3) -> DDG:
+    """DDG of the convergent high-pressure loop (paper Figure 4a, 7a)."""
+    return ddg_from_source(apsi47_source(streams, carried), name="apsi47_like")
+
+
+def apsi50_like(
+    taps: tuple[int, ...] = (0, 1, 3, 7, 12), arrays: int = 2
+) -> DDG:
+    """DDG of the non-convergent loop (paper Figure 4b, 7b): its
+    distance/invariant register floor sits above 32."""
+    return ddg_from_source(apsi50_source(taps, arrays), name="apsi50_like")

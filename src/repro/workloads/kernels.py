@@ -1,0 +1,84 @@
+"""Classic numerical kernels in the mini loop language.
+
+These are the kinds of single-basic-block innermost loops the Perfect Club
+programs contain: streaming updates, reductions, stencils, recurrences,
+polynomial evaluation, and the occasional divide or square root.  They
+serve as examples, as test inputs with well-understood structure, and as
+the seed of the synthetic suite.
+"""
+
+from __future__ import annotations
+
+#: name -> mini-language source
+NAMED_KERNELS: dict[str, str] = {
+    # The paper's running example (Figure 2a).
+    "paper_fig2": "x[i] = y[i]*a + y[i-3]",
+    # BLAS-style streams.
+    "daxpy": "y[i] = y[i] + a*x[i]",
+    "dscal": "x[i] = a*x[i]",
+    "dcopy": "y[i] = x[i]",
+    "triad": "z[i] = x[i] + a*y[i]",
+    "waxpby": "w[i] = a*x[i] + b*y[i]",
+    # Reductions (loop-carried scalar recurrences).
+    "dot": "s = s + x[i]*y[i]",
+    "asum": "s = s + x[i]",
+    "norm2": "s = s + x[i]*x[i]",
+    "weighted_sum": "s = s + w[i]*(x[i] - m)",
+    # Stencils (load reuse -> distance components).
+    "stencil3": "z[i] = c0*x[i-1] + c1*x[i] + c2*x[i+1]",
+    "stencil5": (
+        "z[i] = c0*x[i-2] + c1*x[i-1] + c2*x[i] + c3*x[i+1] + c4*x[i+2]"
+    ),
+    "smooth": "y[i] = (x[i-1] + x[i] + x[i+1]) * third",
+    # First-order recurrences through memory (array written and re-read).
+    "prefix_product": "p[i] = p[i-1]*x[i]",
+    "lin_recurrence": "y[i] = a*y[i-1] + x[i]",
+    "tridiag_forward": "x[i] = x[i] - l[i]*x[i-1]",
+    # FIR filter: several taps on the same stream.
+    "fir4": "y[i] = h0*x[i] + h1*x[i-1] + h2*x[i-2] + h3*x[i-3]",
+    "fir8": (
+        "y[i] = h0*x[i] + h1*x[i-1] + h2*x[i-2] + h3*x[i-3]"
+        " + h4*x[i-4] + h5*x[i-5] + h6*x[i-6] + h7*x[i-7]"
+    ),
+    # Polynomial evaluation (invariant-heavy).
+    "horner4": "y[i] = ((c3*x[i] + c2)*x[i] + c1)*x[i] + c0",
+    "horner8": (
+        "y[i] = (((((((c7*x[i] + c6)*x[i] + c5)*x[i] + c4)*x[i] + c3)"
+        "*x[i] + c2)*x[i] + c1)*x[i] + c0)"
+    ),
+    # Divide / square root users (non-pipelined unit pressure).
+    "normalize": "y[i] = x[i] / s",
+    "rsqrt_scale": "y[i] = x[i] / sqrt(z[i])",
+    "ratio": "r[i] = (a[i] - b[i]) / (a[i] + b[i])",
+    # Conditional (IF-converted to select / predicated store).
+    "clamp_low": "if (x[i] < lo) x[i] = lo",
+    "masked_update": "if (m[i] > 0) y[i] = y[i] + a*x[i]",
+    "running_max": "if (x[i] > s) s = x[i]",
+    # Multi-statement bodies.
+    "complex_mul": (
+        "zr[i] = xr[i]*yr[i] - xi[i]*yi[i]\n"
+        "zi[i] = xr[i]*yi[i] + xi[i]*yr[i]"
+    ),
+    "pressure_update": (
+        "f[i] = p[i]*q[i] + r[i]\n"
+        "g[i] = p[i]*r[i] - q[i]\n"
+        "s = s + f[i]*g[i]"
+    ),
+    "state_space2": (
+        "s1 = a11*s1 + a12*s2 + b1*u[i]\n"
+        "s2 = a21*s1 + a22*s2 + b2*u[i]\n"
+        "y[i] = c1*s1 + c2*s2"
+    ),
+    "hydro_frag": (
+        "x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])"
+    ),
+    "iccg_like": (
+        "x[i] = x[i] - z[i]*v[i]\n"
+        "w[i] = x[i] * u[i]"
+    ),
+}
+
+
+def named_kernel(name: str) -> str:
+    """Source text of a named kernel (KeyError if unknown)."""
+    return NAMED_KERNELS[name]

@@ -1,0 +1,80 @@
+"""Suite assembly: the reproduction's stand-in for the paper's 1258
+Perfect Club loops.
+
+``perfect_club_like_suite(size)`` returns a deterministic population made
+of the named kernels, the two APSI analogues, and synthetic loops filling
+the remainder.  ``size`` defaults to the ``REPRO_SUITE_SIZE`` environment
+variable (160 if unset) so the benchmark harness can run paper-scale
+(1258) or laptop-scale without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.graph.builder import ddg_from_source
+from repro.graph.ddg import DDG
+from repro.workloads.apsi import apsi47_source, apsi50_source
+from repro.workloads.kernels import NAMED_KERNELS
+from repro.workloads.synthetic import generate_loop_spec
+
+DEFAULT_SUITE_SIZE = 160
+DEFAULT_SEED = 1996  # the paper's year; any seed gives a valid suite
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One loop of the evaluation suite."""
+
+    name: str
+    source: str
+    ddg: DDG
+    weight: int
+    category: str
+
+
+def suite_size(default: int = DEFAULT_SUITE_SIZE) -> int:
+    """Suite size from ``REPRO_SUITE_SIZE`` (paper scale: 1258)."""
+    value = os.environ.get("REPRO_SUITE_SIZE", "")
+    try:
+        parsed = int(value)
+    except ValueError:
+        return default
+    return parsed if parsed > 0 else default
+
+
+def perfect_club_like_suite(
+    size: int | None = None, seed: int = DEFAULT_SEED
+) -> list[Workload]:
+    """Build the deterministic loop population (see module docstring)."""
+    if size is None:
+        size = suite_size()
+    rng = random.Random(seed)
+    workloads: list[Workload] = []
+
+    def add(name: str, source: str, weight: int, category: str) -> None:
+        ddg = ddg_from_source(source, name=name)
+        workloads.append(
+            Workload(
+                name=name,
+                source=source,
+                ddg=ddg,
+                weight=weight,
+                category=category,
+            )
+        )
+
+    add("apsi47_like", apsi47_source(), max(8, int(rng.lognormvariate(5.0, 1.0) * 6)), "high_pressure")
+    add("apsi50_like", apsi50_source(), max(8, int(rng.lognormvariate(5.0, 1.0) * 24)), "nonconvergent")
+    for name, source in NAMED_KERNELS.items():
+        if len(workloads) >= size:
+            break
+        add(name, source, max(8, int(rng.lognormvariate(5.0, 1.0))), "named")
+    index = 0
+    while len(workloads) < size:
+        spec = generate_loop_spec(rng, index)
+        index += 1
+        add(spec.name, spec.source, spec.weight, spec.category)
+    return workloads[:size]

@@ -1,0 +1,218 @@
+"""Seeded synthetic loop generator.
+
+Produces a population of mini-language loops whose *mix* is calibrated to
+reproduce the strata the paper's evaluation depends on:
+
+=================  ====  =============================================
+category           freq  role in the evaluation
+=================  ====  =============================================
+stream             .17   low pressure; scheduled untouched
+stencil            .14   moderate distance components (load reuse)
+reduction          .13   loop-carried scalar recurrences (RecMII)
+recurrence         .08   first-order recurrences through memory
+poly               .09   invariant-heavy (Horner evaluation)
+multi              .11   multi-statement bodies with temp reuse
+divsqrt            .06   non-pipelined unit pressure (MII >= 17)
+broadcast          .10   one expensive many-consumer lifetime vs many
+                         cheap ones — where Max(LT/Traf) shines
+high_pressure      .08   APSI-47-like: converges under II increase,
+                         but needs spill for small register files
+nonconvergent      .04   APSI-50-like: distance/invariant floor above
+                         32 registers — II increase can never work
+=================  ====  =============================================
+
+Loops carry execution *weights* (iteration counts, lognormal): the paper's
+headline claim is that the few non-convergent loops represent 20-30% of
+executed cycles, so that class gets a heavy weight multiplier, mirroring
+the Perfect Club profile where high-pressure numerical loops dominate run
+time.
+
+Everything is driven by ``random.Random(seed)``: the same seed yields the
+same suite, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.apsi import apsi47_source, apsi50_source
+
+_CATEGORIES = [
+    ("stream", 0.17),
+    ("stencil", 0.14),
+    ("reduction", 0.13),
+    ("recurrence", 0.08),
+    ("poly", 0.09),
+    ("multi", 0.11),
+    ("divsqrt", 0.06),
+    ("broadcast", 0.10),
+    ("high_pressure", 0.08),
+    ("nonconvergent", 0.04),
+]
+
+_WEIGHT_MULTIPLIER = {
+    "broadcast": 6.0,
+    "high_pressure": 6.0,
+    "nonconvergent": 24.0,
+}
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """A generated loop: source text plus execution weight (total
+    iterations executed across the program run)."""
+
+    name: str
+    source: str
+    weight: int
+    category: str
+
+
+def generate_loop_spec(rng: random.Random, index: int) -> LoopSpec:
+    """Generate the *index*-th loop of a suite from *rng*'s stream."""
+    category = _pick_category(rng)
+    source = _GENERATORS[category](rng)
+    weight = _weight(rng, category)
+    return LoopSpec(
+        name=f"syn{index:04d}_{category}",
+        source=source,
+        weight=weight,
+        category=category,
+    )
+
+
+def _pick_category(rng: random.Random) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for name, probability in _CATEGORIES:
+        acc += probability
+        if roll < acc:
+            return name
+    return _CATEGORIES[-1][0]
+
+
+def _weight(rng: random.Random, category: str) -> int:
+    base = rng.lognormvariate(5.0, 1.0)
+    base *= _WEIGHT_MULTIPLIER.get(category, 1.0)
+    return max(8, int(base))
+
+
+# ----------------------------------------------------------------------
+# category generators
+def _gen_stream(rng: random.Random) -> str:
+    terms = [
+        f"c{j}*A{j}[i]" for j in range(rng.randint(1, 4))
+    ]
+    return f"Z[i] = {' + '.join(terms)}"
+
+
+def _gen_stencil(rng: random.Random) -> str:
+    wide = rng.random() < 0.25
+    span = rng.randint(4, 10) if wide else rng.randint(1, 3)
+    taps = sorted(rng.sample(range(span + 1), k=min(span + 1, rng.randint(2, 5))))
+    terms = []
+    for j, tap in enumerate(taps):
+        ref = "A0[i]" if tap == 0 else f"A0[i-{tap}]"
+        terms.append(f"c{j}*{ref}")
+    return f"Z[i] = {' + '.join(terms)}"
+
+
+def _gen_reduction(rng: random.Random) -> str:
+    kind = rng.random()
+    if kind < 0.4:
+        return "s = s + A0[i]*A1[i]"
+    if kind < 0.7:
+        return "s = s + c0*A0[i]"
+    return "s = s + (A0[i] - c0)*(A0[i] - c0)"
+
+
+def _gen_recurrence(rng: random.Random) -> str:
+    if rng.random() < 0.5:
+        return "Z[i] = c0*Z[i-1] + A0[i]"
+    return "s = c0*s + A0[i]\nZ[i] = s"
+
+
+def _gen_poly(rng: random.Random) -> str:
+    degree = rng.randint(3, 9)
+    expr = f"c{degree}"
+    for power in range(degree - 1, -1, -1):
+        expr = f"({expr}*A0[i] + c{power})"
+    return f"Z[i] = {expr}"
+
+
+def _gen_multi(rng: random.Random) -> str:
+    statements = rng.randint(2, 4)
+    lines = []
+    for s in range(statements - 1):
+        left = f"A{2 * s}[i]" if rng.random() < 0.7 else f"A{2 * s}[i-1]"
+        right = f"A{2 * s + 1}[i]"
+        op = rng.choice(["+", "*", "-"])
+        lines.append(f"t{s} = {left} {op} c{s}*{right}")
+    combine = " + ".join(f"t{s}" for s in range(statements - 1))
+    lines.append(f"Z[i] = {combine}")
+    if rng.random() < 0.3:
+        lines.append("s = s + Z[i]")
+    return "\n".join(lines)
+
+
+def _gen_divsqrt(rng: random.Random) -> str:
+    if rng.random() < 0.5:
+        return "Z[i] = A0[i] / (c0 + A1[i])"
+    return "Z[i] = A0[i] / sqrt(A1[i] + c0)"
+
+
+def _gen_broadcast(rng: random.Random) -> str:
+    """A long-lived value with many consumers spread over a deep chain of
+    single-consumer temporaries.
+
+    This is the shape on which the two selection heuristics disagree the
+    way the paper describes: Max(LT) spills the broadcast value (longest
+    lifetime, but one store plus a load per use), Max(LT/Traf) prefers the
+    almost-as-long chain temporaries at two memory operations each.
+    """
+    depth = rng.randint(9, 15)
+    lines = ["g = c0*A0[i] + B0[i]"]
+    previous = "g"
+    for k in range(1, depth + 1):
+        if k % 3 == 0:
+            lines.append(f"t{k} = A{k}[i]*{previous} + g")
+        else:
+            lines.append(f"t{k} = A{k}[i]*{previous} + c1*B{k}[i]")
+        previous = f"t{k}"
+    lines.append(f"Z[i] = {previous} * g")
+    return "\n".join(lines)
+
+
+def _gen_high_pressure(rng: random.Random) -> str:
+    return apsi47_source(streams=rng.randint(5, 9))
+
+
+def _gen_nonconvergent(rng: random.Random) -> str:
+    """APSI-50-like loops with a distance/invariant register floor above
+    32; a minority aim above 64 so Table 1's 64-register row is populated
+    (the paper finds nearly the same loop set fails both budgets)."""
+    arrays = rng.randint(2, 4)
+    if rng.random() < 0.55:
+        target_floor = rng.randint(38, 55)
+    else:
+        target_floor = rng.randint(72, 120)
+    taps_per_array = 5
+    span = max(8, round((target_floor - arrays * taps_per_array) / arrays))
+    inner = sorted(rng.sample(range(1, span), k=taps_per_array - 2))
+    taps = tuple([0] + inner + [span])
+    return apsi50_source(taps=taps, arrays=arrays)
+
+
+_GENERATORS = {
+    "stream": _gen_stream,
+    "stencil": _gen_stencil,
+    "reduction": _gen_reduction,
+    "recurrence": _gen_recurrence,
+    "poly": _gen_poly,
+    "multi": _gen_multi,
+    "divsqrt": _gen_divsqrt,
+    "broadcast": _gen_broadcast,
+    "high_pressure": _gen_high_pressure,
+    "nonconvergent": _gen_nonconvergent,
+}

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.machine import generic_machine, p1l4, p2l4, p2l6
+from repro.sched import HRMSScheduler, IMSScheduler, SwingScheduler
+
+FIG2_SOURCE = "x[i] = y[i]*a + y[i-3]"
+
+
+@pytest.fixture
+def fig2_loop():
+    """The paper's running example (Figure 2a)."""
+    return ddg_from_source(FIG2_SOURCE, name="fig2")
+
+
+@pytest.fixture
+def fig2_machine():
+    """Four general-purpose units, uniform latency 2 (Figure 2)."""
+    return generic_machine(units=4, latency=2)
+
+
+@pytest.fixture(params=["P1L4", "P2L4", "P2L6"])
+def paper_machine(request):
+    return {"P1L4": p1l4, "P2L4": p2l4, "P2L6": p2l6}[request.param]()
+
+
+@pytest.fixture(params=[HRMSScheduler, IMSScheduler, SwingScheduler])
+def any_scheduler(request):
+    return request.param()

@@ -1,0 +1,107 @@
+"""Unit tests for the rotating-register-file allocator."""
+
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.lifetimes import allocate_registers, max_live, register_requirements
+from repro.lifetimes.lifetime import variant_lifetimes
+from repro.machine import p2l4
+from repro.sched import HRMSScheduler
+from repro.workloads import NAMED_KERNELS, apsi47_like
+
+
+def verify_no_overlap(schedule, allocation, lifetimes):
+    """Independent checker: expand every arc on the circle and assert
+    cell-disjointness (the allocator's own bookkeeping is not trusted)."""
+    circumference = allocation.registers * schedule.ii
+    cells = {}
+    for lifetime in lifetimes:
+        slot = allocation.placement[lifetime.value]
+        start = (lifetime.start + slot * schedule.ii) % circumference
+        for cycle in range(lifetime.length):
+            cell = (start + cycle) % circumference
+            assert cell not in cells, (
+                f"{lifetime.value} overlaps {cells[cell]} at cell {cell}"
+            )
+            cells[cell] = lifetime.value
+
+
+class TestBasicAllocation:
+    def test_fig2_allocates_at_maxlive(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        allocation = allocate_registers(schedule)
+        assert allocation.registers == 11
+        assert allocation.max_live == 11
+        assert allocation.excess_over_maxlive == 0
+
+    def test_placement_is_disjoint(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        lifetimes = [lt for lt in variant_lifetimes(schedule) if lt.length]
+        allocation = allocate_registers(schedule, lifetimes)
+        verify_no_overlap(schedule, allocation, lifetimes)
+
+    def test_empty_loop(self, fig2_machine):
+        from repro.graph.ddg import DDG
+        from repro.sched.schedule import Schedule
+
+        schedule = Schedule(DDG(), fig2_machine, ii=1, times={})
+        allocation = allocate_registers(schedule)
+        assert allocation.registers == 0
+
+    def test_allocation_never_below_maxlive(self):
+        machine = p2l4()
+        for kernel in ("fir8", "stencil5", "state_space2", "complex_mul"):
+            ddg = ddg_from_source(NAMED_KERNELS[kernel], name=kernel)
+            schedule = HRMSScheduler().schedule(ddg, machine)
+            allocation = allocate_registers(schedule)
+            assert allocation.registers >= max_live(
+                schedule, include_invariants=False
+            )
+
+
+class TestPaperClaim:
+    def test_rarely_exceeds_maxlive_plus_one(self):
+        """Rau et al.'s end-fit 'almost never required more than
+        MaxLive + 1 registers'; on our kernels, allow at most +2 and track
+        that most hit MaxLive exactly."""
+        machine = p2l4()
+        exact = 0
+        total = 0
+        for kernel, source in NAMED_KERNELS.items():
+            ddg = ddg_from_source(source, name=kernel)
+            schedule = HRMSScheduler().schedule(ddg, machine)
+            allocation = allocate_registers(schedule)
+            assert allocation.excess_over_maxlive <= 2, kernel
+            exact += allocation.excess_over_maxlive == 0
+            total += 1
+        assert exact >= total * 0.7
+
+    def test_large_loop_allocates(self):
+        schedule = HRMSScheduler().schedule(apsi47_like(), p2l4())
+        lifetimes = [lt for lt in variant_lifetimes(schedule) if lt.length]
+        allocation = allocate_registers(schedule, lifetimes)
+        verify_no_overlap(schedule, allocation, lifetimes)
+        assert allocation.excess_over_maxlive <= 3
+
+
+class TestRegisterReport:
+    def test_total_includes_invariants(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        report = register_requirements(schedule)
+        assert report.total == report.allocated + 1
+        assert report.fits(report.total)
+        assert not report.fits(report.total - 1)
+
+    def test_estimate_mode_skips_allocation(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        report = register_requirements(schedule, exact=False)
+        assert not report.exact
+        assert report.allocated == report.max_live
+
+    def test_estimate_is_lower_bound(self):
+        machine = p2l4()
+        for kernel in ("fir8", "pressure_update", "hydro_frag"):
+            ddg = ddg_from_source(NAMED_KERNELS[kernel], name=kernel)
+            schedule = HRMSScheduler().schedule(ddg, machine)
+            report = register_requirements(schedule)
+            assert report.estimate <= report.total

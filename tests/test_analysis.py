@@ -1,0 +1,163 @@
+"""Unit tests for graph analyses, with networkx as an oracle where useful."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.graph.analysis import (
+    asap_alap,
+    critical_recurrence,
+    edge_latency,
+    longest_path_lengths,
+    recurrence_components,
+    recurrence_mii_of_scc,
+    strongly_connected_components,
+)
+from repro.graph.ddg import DDG, DepKind, Edge, EdgeKind, Node
+from repro.ir.operations import Opcode
+
+
+def chain_with_back_edge(length=4, distance=2):
+    """a0 -> a1 -> ... -> a{n-1} -> a0 (distance d)."""
+    ddg = DDG("chain")
+    for index in range(length):
+        ddg.add_node(Node(f"a{index}", Opcode.ADD))
+    for index in range(length - 1):
+        ddg.add_edge(Edge(f"a{index}", f"a{index + 1}", EdgeKind.REG))
+    ddg.add_edge(
+        Edge(f"a{length - 1}", "a0", EdgeKind.REG, distance=distance)
+    )
+    return ddg
+
+
+def to_networkx(ddg):
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(ddg.nodes)
+    for edge in ddg.edges:
+        graph.add_edge(edge.src, edge.dst)
+    return graph
+
+
+class TestSCC:
+    def test_matches_networkx_on_kernels(self):
+        for source in (
+            "s = s + x[i]*y[i]",
+            "p[i] = p[i-1]*x[i]",
+            "x[i] = y[i]*a + y[i-3]",
+            "s1 = a11*s1 + a12*s2\ns2 = a21*s1 + a22*s2\ny[i] = s1 + s2",
+        ):
+            ddg = ddg_from_source(source)
+            ours = {frozenset(c) for c in strongly_connected_components(ddg)}
+            reference = {
+                frozenset(c)
+                for c in nx.strongly_connected_components(to_networkx(ddg))
+            }
+            assert ours == reference
+
+    def test_every_node_in_exactly_one_component(self):
+        ddg = chain_with_back_edge()
+        components = strongly_connected_components(ddg)
+        seen = [n for c in components for n in c]
+        assert sorted(seen) == sorted(ddg.nodes)
+
+    def test_recurrence_components_need_a_cycle(self):
+        acyclic = ddg_from_source("z[i] = x[i] + y[i]")
+        assert recurrence_components(acyclic) == []
+
+    def test_self_loop_is_a_recurrence(self):
+        ddg = ddg_from_source("s = s + x[i]")
+        recs = recurrence_components(ddg)
+        assert any(len(c) == 1 for c in recs)
+
+
+class TestRecMII:
+    def test_chain_recurrence_value(self):
+        # 4 ADD nodes, latency 1 each, total distance 2 -> ceil(4/2) = 2.
+        ddg = chain_with_back_edge(length=4, distance=2)
+        latencies = {name: 1 for name in ddg.nodes}
+        (component,) = recurrence_components(ddg)
+        assert recurrence_mii_of_scc(ddg, component, latencies) == 2
+
+    @pytest.mark.parametrize(
+        "length,latency,distance,expected",
+        [
+            (3, 2, 1, 6),   # 3 ops x 2 cycles / distance 1
+            (3, 2, 2, 3),
+            (5, 4, 3, 7),   # ceil(20/3)
+            (1, 4, 1, 4),   # self-loop
+        ],
+    )
+    def test_ratio_formula(self, length, latency, distance, expected):
+        ddg = chain_with_back_edge(length=length, distance=distance)
+        latencies = {name: latency for name in ddg.nodes}
+        (component,) = recurrence_components(ddg)
+        assert recurrence_mii_of_scc(ddg, component, latencies) == expected
+
+    def test_zero_distance_cycle_rejected(self):
+        ddg = chain_with_back_edge(length=2, distance=1)
+        bad = Edge("a1", "a0", EdgeKind.REG, distance=0)
+        ddg.add_edge(bad)
+        ddg.add_edge(Edge("a0", "a1", EdgeKind.REG, distance=0))
+        latencies = {name: 1 for name in ddg.nodes}
+        (component,) = recurrence_components(ddg)
+        with pytest.raises(ValueError):
+            recurrence_mii_of_scc(ddg, component, latencies)
+
+    def test_critical_recurrence_picks_max(self):
+        ddg = DDG()
+        for name in ("a", "b"):
+            ddg.add_node(Node(name, Opcode.ADD))
+        ddg.add_edge(Edge("a", "a", EdgeKind.REG, distance=1))  # RecMII 1
+        ddg.add_edge(Edge("b", "b", EdgeKind.REG, distance=1))
+        latencies = {"a": 1, "b": 7}
+        component, mii = critical_recurrence(ddg, latencies)
+        assert component == {"b"}
+        assert mii == 7
+
+    def test_acyclic_recmii_is_one(self):
+        ddg = ddg_from_source("z[i] = x[i] + y[i]")
+        latencies = {name: 5 for name in ddg.nodes}
+        assert critical_recurrence(ddg, latencies) == (None, 1)
+
+
+class TestLongestPaths:
+    def test_simple_chain_depths(self):
+        ddg = ddg_from_source("z[i] = x[i]*a")
+        latencies = {name: 2 for name in ddg.nodes}
+        depth = longest_path_lengths(ddg, latencies, ii=1)
+        load = next(n for n in ddg.nodes.values() if n.is_load).name
+        mul = next(n for n in ddg.nodes.values()
+                   if n.opcode is Opcode.MUL).name
+        store = next(n for n in ddg.nodes.values() if n.is_store).name
+        assert depth[load] == 0
+        assert depth[mul] == 2
+        assert depth[store] == 4
+
+    def test_diverges_below_recmii(self):
+        ddg = chain_with_back_edge(length=4, distance=1)
+        latencies = {name: 3 for name in ddg.nodes}
+        with pytest.raises(ValueError):
+            longest_path_lengths(ddg, latencies, ii=1)
+
+    def test_asap_not_after_alap(self, fig2_loop):
+        latencies = {name: 2 for name in fig2_loop.nodes}
+        asap, alap = asap_alap(fig2_loop, latencies, ii=2)
+        for name in fig2_loop.nodes:
+            assert asap[name] <= alap[name]
+
+    def test_carried_edges_relax_with_ii(self, fig2_loop):
+        latencies = {name: 2 for name in fig2_loop.nodes}
+        depth1, _ = asap_alap(fig2_loop, latencies, ii=1)
+        depth9, _ = asap_alap(fig2_loop, latencies, ii=9)
+        assert max(depth9.values()) <= max(depth1.values())
+
+
+class TestEdgeLatency:
+    def test_flow_uses_producer_latency(self):
+        edge = Edge("a", "b", EdgeKind.REG, DepKind.FLOW)
+        assert edge_latency(edge, {"a": 7, "b": 1}) == 7
+
+    def test_anti_and_output_use_unit_latency(self):
+        for dep in (DepKind.ANTI, DepKind.OUTPUT):
+            edge = Edge("a", "b", EdgeKind.MEM, dep)
+            assert edge_latency(edge, {"a": 7, "b": 1}) == 1

@@ -1,0 +1,151 @@
+"""Unit tests for LoopBody -> DDG construction."""
+
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.graph.builder import build_ddg
+from repro.graph.ddg import DepKind, EdgeKind
+from repro.ir import parse_loop
+
+
+def edges_between(ddg, src, dst):
+    return [e for e in ddg.out_edges(src) if e.dst == dst]
+
+
+class TestRegisterEdges:
+    def test_flow_edges_follow_dataflow(self):
+        ddg = ddg_from_source("z[i] = x[i] + y[i]")
+        add = next(n for n in ddg.nodes.values() if n.opcode.value == "add")
+        assert len(ddg.reg_in_edges(add.name)) == 2
+
+    def test_carried_edge_distance_one(self):
+        ddg = ddg_from_source("s = s + x[i]")
+        carried = [e for e in ddg.edges if e.distance == 1 and
+                   e.kind is EdgeKind.REG]
+        assert len(carried) == 1
+        # the reduction closes a recurrence on itself
+        assert carried[0].src == carried[0].dst
+
+    def test_invariant_consumers_recorded(self):
+        ddg = ddg_from_source("z[i] = a*x[i] + a*y[i]")
+        assert set(ddg.invariants) == {"a"}
+        assert len(ddg.invariants["a"].consumers) == 2
+
+    def test_unknown_operand_rejected(self):
+        body = parse_loop("z[i] = x[i]")
+        body.operations[1].operands = ["ghost"]
+        with pytest.raises(ValueError):
+            build_ddg(body)
+
+
+class TestLoadReuse:
+    def test_fig2_folding(self, fig2_loop):
+        loads = [n for n in fig2_loop.nodes.values() if n.is_load]
+        assert len(loads) == 1  # y[i-3] folded into y[i]
+        distances = sorted(
+            e.distance for e in fig2_loop.reg_out_edges(loads[0].name)
+        )
+        assert distances == [0, 3]
+
+    def test_folding_keeps_relative_offsets(self):
+        ddg = ddg_from_source("z[i] = y[i-1] + y[i-4]")
+        loads = [n for n in ddg.nodes.values() if n.is_load]
+        assert len(loads) == 1
+        assert loads[0].mem.offset == -1
+        distances = sorted(e.distance for e in ddg.reg_out_edges(loads[0].name))
+        assert distances == [0, 3]
+
+    def test_no_folding_when_array_written(self):
+        ddg = ddg_from_source("y[i] = y[i-1] + x[i]")
+        loads = [n for n in ddg.nodes.values() if n.is_load]
+        # y[i-1] and x[i] both stay as loads
+        assert len(loads) == 2
+
+    def test_folding_disabled_flag(self):
+        ddg = ddg_from_source("z[i] = y[i] + y[i-3]", reuse_loads=False)
+        loads = [n for n in ddg.nodes.values() if n.is_load]
+        assert len(loads) == 2
+
+    def test_folded_consumer_operands_renamed(self, fig2_loop):
+        add = next(n for n in fig2_loop.nodes.values()
+                   if n.opcode.value == "add")
+        assert any("@3" in operand for operand in add.operands)
+
+
+class TestMemoryDependences:
+    def test_store_load_flow_same_iteration(self):
+        ddg = ddg_from_source("z[i] = x[i]\nw[i] = z[i]")
+        store = next(n for n in ddg.nodes.values()
+                     if n.is_store and n.mem.array == "z")
+        flows = [e for e in ddg.out_edges(store.name)
+                 if e.kind is EdgeKind.MEM and e.dep is DepKind.FLOW]
+        assert len(flows) == 1
+        assert flows[0].distance == 0
+
+    def test_store_load_flow_across_iterations(self):
+        ddg = ddg_from_source("p[i] = p[i-1]*x[i]")
+        store = next(n for n in ddg.nodes.values() if n.is_store)
+        flow = [e for e in ddg.out_edges(store.name)
+                if e.kind is EdgeKind.MEM and e.dep is DepKind.FLOW]
+        assert len(flow) == 1
+        assert flow[0].distance == 1  # p[i] written, p[i-1] read next iter
+
+    def test_recurrence_through_memory_creates_cycle(self):
+        from repro.graph.analysis import recurrence_components
+
+        ddg = ddg_from_source("p[i] = p[i-1]*x[i]")
+        assert recurrence_components(ddg)
+
+    def test_load_then_store_anti_same_location(self):
+        ddg = ddg_from_source("x[i] = x[i]*a")
+        load = next(n for n in ddg.nodes.values() if n.is_load
+                    and n.mem.array == "x")
+        antis = [e for e in ddg.out_edges(load.name)
+                 if e.kind is EdgeKind.MEM and e.dep is DepKind.ANTI]
+        assert len(antis) == 1
+        assert antis[0].distance == 0
+
+    def test_read_ahead_anti_dependence(self):
+        # x[i+2] is read; the store to x[i] of iteration i+2 overwrites it.
+        ddg = ddg_from_source("x[i] = x[i+2]*a")
+        load = next(n for n in ddg.nodes.values() if n.is_load)
+        antis = [e for e in ddg.out_edges(load.name)
+                 if e.kind is EdgeKind.MEM and e.dep is DepKind.ANTI]
+        assert len(antis) == 1
+        assert antis[0].distance == 2
+
+    def test_store_store_output_dependence(self):
+        ddg = ddg_from_source("z[i] = x[i]\nz[i] = y[i]")
+        outputs = [e for e in ddg.edges
+                   if e.kind is EdgeKind.MEM and e.dep is DepKind.OUTPUT]
+        assert len(outputs) == 1
+        assert outputs[0].distance == 0
+
+    def test_different_arrays_no_dependence(self):
+        ddg = ddg_from_source("z[i] = x[i]\nw[i] = y[i]")
+        assert all(e.kind is not EdgeKind.MEM for e in ddg.edges)
+
+    def test_load_load_no_dependence(self):
+        ddg = ddg_from_source("z[i] = y[i] + y[i-3]", reuse_loads=False)
+        assert all(e.kind is not EdgeKind.MEM for e in ddg.edges)
+
+
+class TestGraphHygiene:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "z[i] = x[i]",
+            "s = s + x[i]*y[i]",
+            "x[i] = y[i]*a + y[i-3]",
+            "p[i] = p[i-1]*x[i]",
+            "if (x[i] > 0) z[i] = x[i]",
+            "z[i] = ((c3*x[i] + c2)*x[i] + c1)*x[i] + c0",
+        ],
+    )
+    def test_built_graphs_validate(self, source):
+        ddg = ddg_from_source(source)
+        ddg.validate()
+
+    def test_live_out_propagated(self):
+        ddg = ddg_from_source("s = s + x[i]")
+        assert "s" in {n for n in ddg.live_out} or ddg.live_out

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+FIG2 = "x[i] = y[i]*a + y[i-3]"
+
+
+class TestCompile:
+    def test_compile_inline_fits(self, capsys):
+        code = main([
+            "compile", "-e", FIG2, "--machine", "generic:4:2",
+            "--registers", "6", "--method", "spill",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+        assert "II=2" in out
+        assert "Ld_y" in out  # spilled value listed
+
+    def test_compile_all_methods(self, capsys):
+        for method in ("spill", "increase", "combined", "prespill"):
+            code = main([
+                "compile", "-e", FIG2, "--registers", "32",
+                "--method", method,
+            ])
+            assert code == 0, method
+
+    def test_compile_failure_exit_code(self, capsys):
+        code = main([
+            "compile", "-e", FIG2, "--machine", "generic:4:2",
+            "--registers", "1", "--method", "spill",
+        ])
+        assert code == 1
+        assert "DID NOT FIT" in capsys.readouterr().out
+
+    def test_show_sections(self, capsys):
+        main([
+            "compile", "-e", FIG2, "--registers", "32",
+            "--show", "all",
+        ])
+        out = capsys.readouterr().out
+        for section in ("graph", "schedule", "kernel", "lifetimes",
+                        "pressure"):
+            assert f"--- {section} ---" in out
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        path = tmp_path / "loop.l"
+        path.write_text("z[i] = x[i] + y[i]\n")
+        code = main(["compile", str(path), "--registers", "32"])
+        assert code == 0
+
+    def test_stage_pass_flag(self, capsys):
+        code = main([
+            "compile", "-e", FIG2, "--registers", "32", "--stage-pass",
+        ])
+        assert code == 0
+
+    def test_scheduler_choice(self, capsys):
+        for scheduler in ("hrms", "ims", "swing"):
+            code = main([
+                "compile", "-e", FIG2, "--registers", "32",
+                "--scheduler", scheduler,
+            ])
+            assert code == 0, scheduler
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "-e", FIG2, "--machine", "VAX"])
+
+
+class TestMII:
+    def test_mii_output(self, capsys):
+        code = main(["mii", "-e", "s = s + x[i]*y[i]", "--machine", "P1L4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ResMII = 2" in out
+        assert "RecMII = 4" in out
+        assert "MII    = 4" in out
+
+
+class TestSuite:
+    def test_suite_summary(self, capsys):
+        code = main(["suite", "--size", "6", "--registers", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite of 6 loops" in out
+        assert "apsi47_like" in out

@@ -1,0 +1,110 @@
+"""Unit tests for kernel emission and figure-style rendering."""
+
+import pytest
+
+from repro.codegen import (
+    emit_loop,
+    render_kernel,
+    render_lifetimes,
+    render_pressure,
+    render_schedule,
+)
+from repro.graph import ddg_from_source
+from repro.machine import generic_machine, p2l4
+from repro.sched import HRMSScheduler
+from repro.workloads import NAMED_KERNELS
+
+
+@pytest.fixture
+def fig2_code(fig2_loop, fig2_machine):
+    schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+    return schedule, emit_loop(schedule)
+
+
+class TestKernel:
+    def test_kernel_has_ii_rows(self, fig2_code):
+        schedule, code = fig2_code
+        assert len(code.kernel) == schedule.ii == 1
+
+    def test_kernel_contains_every_op_once(self, fig2_code):
+        schedule, code = fig2_code
+        mnemonics = [slot for row in code.kernel for slot in row]
+        assert len(mnemonics) == len(schedule.times)
+        # stage subscripts as in the paper's Figure 2e
+        assert "Ld_y_0" in mnemonics
+        assert "St1_x_6" in mnemonics
+
+    def test_total_cycles_formula(self, fig2_code):
+        _, code = fig2_code
+        assert code.total_cycles(100) == (100 + code.stage_count - 1) * code.ii
+        assert code.total_cycles(0) == 0
+
+
+class TestPrologueEpilogue:
+    def test_prologue_fills_sc_minus_one_stages(self, fig2_code):
+        schedule, code = fig2_code
+        span = (schedule.stage_count - 1) * schedule.ii
+        assert all(0 <= cycle < span for cycle, _ in code.prologue)
+
+    def test_prologue_op_population(self, fig2_code):
+        """Iteration j enters the pipe at cycle j*II; prologue cycle c runs
+        every op with start + j*II == c."""
+        schedule, code = fig2_code
+        total_ops = sum(len(ops) for _, ops in code.prologue)
+        # triangular ramp: sum over stages s of (SC-1-s) occurrences
+        expected = 0
+        for name, start in schedule.times.items():
+            for iteration in range(schedule.stage_count):
+                if start + iteration * schedule.ii < (
+                    (schedule.stage_count - 1) * schedule.ii
+                ):
+                    expected += 1
+        assert total_ops == expected
+
+    def test_epilogue_drains_older_iterations(self, fig2_code):
+        schedule, code = fig2_code
+        total_ops = sum(len(ops) for _, ops in code.epilogue)
+        assert total_ops > 0
+        # mirror of the prologue triangle
+        prologue_ops = sum(len(ops) for _, ops in code.prologue)
+        assert total_ops == prologue_ops
+
+    def test_multistage_kernel(self):
+        ddg = ddg_from_source(NAMED_KERNELS["fir4"], name="fir4")
+        schedule = HRMSScheduler().schedule(ddg, p2l4())
+        code = emit_loop(schedule)
+        assert len(code.kernel) == schedule.ii
+        assert code.stage_count == schedule.stage_count
+
+
+class TestRendering:
+    def test_render_schedule_lists_all_ops(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        text = render_schedule(schedule)
+        for name in schedule.times:
+            assert name in text
+        assert "II=2" in text
+
+    def test_render_lifetimes_shows_components(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        text = render_lifetimes(schedule)
+        assert "sch=4" in text
+        assert "dist=3" in text
+        assert "=" in text  # distance component bar
+
+    def test_render_pressure_reports_maxlive(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        text = render_pressure(schedule, include_invariants=False)
+        assert "MaxLive = 11" in text
+
+    def test_render_kernel_rows(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        text = render_kernel(schedule)
+        assert text.count("row ") == 2
+
+    def test_render_empty(self, fig2_machine):
+        from repro.graph.ddg import DDG
+        from repro.sched.schedule import Schedule
+
+        schedule = Schedule(DDG(), fig2_machine, ii=1, times={})
+        assert "no loop-variant" in render_lifetimes(schedule)

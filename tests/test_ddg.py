@@ -1,0 +1,149 @@
+"""Unit tests for the dependence-graph data structure."""
+
+import pytest
+
+from repro.graph.ddg import DDG, DepKind, Edge, EdgeKind, Node
+from repro.ir.operations import Opcode
+
+
+def small_graph():
+    ddg = DDG("g")
+    ddg.add_node(Node("ld", Opcode.LOAD))
+    ddg.add_node(Node("mul", Opcode.MUL, operands=["ld"]))
+    ddg.add_node(Node("st", Opcode.STORE, operands=["mul"]))
+    ddg.add_edge(Edge("ld", "mul", EdgeKind.REG))
+    ddg.add_edge(Edge("mul", "st", EdgeKind.REG))
+    return ddg
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        ddg = DDG()
+        ddg.add_node(Node("n", Opcode.ADD))
+        with pytest.raises(ValueError):
+            ddg.add_node(Node("n", Opcode.MUL))
+
+    def test_edge_requires_endpoints(self):
+        ddg = DDG()
+        ddg.add_node(Node("n", Opcode.ADD))
+        with pytest.raises(KeyError):
+            ddg.add_edge(Edge("n", "missing", EdgeKind.REG))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("a", "b", EdgeKind.REG, distance=-1)
+
+    def test_remove_node_cleans_edges_and_invariants(self):
+        ddg = small_graph()
+        ddg.add_invariant("k", consumer="mul")
+        ddg.remove_node("mul")
+        assert "mul" not in ddg.nodes
+        assert all(e.src != "mul" and e.dst != "mul" for e in ddg.edges)
+        assert "mul" not in ddg.invariants["k"].consumers
+
+    def test_remove_edge(self):
+        ddg = small_graph()
+        edge = ddg.reg_out_edges("ld")[0]
+        ddg.remove_edge(edge)
+        assert ddg.reg_out_edges("ld") == []
+        assert "ld" not in ddg.predecessors("mul")
+
+
+class TestQueries:
+    def test_predecessors_successors(self):
+        ddg = small_graph()
+        assert ddg.predecessors("mul") == {"ld"}
+        assert ddg.successors("mul") == {"st"}
+
+    def test_producers_excludes_stores_and_dead_values(self):
+        ddg = small_graph()
+        ddg.add_node(Node("dead", Opcode.ADD))
+        names = {node.name for node in ddg.producers()}
+        assert names == {"ld", "mul"}
+
+    def test_live_out_value_is_a_producer(self):
+        ddg = small_graph()
+        ddg.add_node(Node("acc", Opcode.ADD))
+        ddg.live_out.add("acc")
+        names = {node.name for node in ddg.producers()}
+        assert "acc" in names
+
+    def test_memory_node_count(self):
+        ddg = small_graph()
+        assert ddg.memory_node_count() == 2
+
+    def test_spill_node_count(self):
+        ddg = small_graph()
+        ddg.add_node(Node("ls", Opcode.SPILL_LOAD))
+        assert ddg.spill_node_count() == 1
+
+    def test_reg_in_out_filtering(self):
+        ddg = small_graph()
+        ddg.add_node(Node("ld2", Opcode.LOAD))
+        ddg.add_edge(Edge("ld2", "st", EdgeKind.MEM, DepKind.ANTI))
+        assert len(ddg.reg_in_edges("st")) == 1
+        assert len(ddg.in_edges("st")) == 2
+
+
+class TestFusedGroups:
+    def test_no_groups_without_fused_edges(self):
+        assert small_graph().fused_groups() == []
+
+    def test_single_group(self):
+        ddg = small_graph()
+        ddg.add_node(Node("ls", Opcode.SPILL_LOAD))
+        ddg.add_edge(Edge("ls", "mul", EdgeKind.REG, fused=True))
+        groups = ddg.fused_groups()
+        assert groups == [{"ls", "mul"}]
+
+    def test_chained_groups_merge(self):
+        ddg = small_graph()
+        for name in ("a", "b", "c"):
+            ddg.add_node(Node(name, Opcode.ADD))
+        ddg.add_edge(Edge("a", "b", EdgeKind.REG, fused=True))
+        ddg.add_edge(Edge("b", "c", EdgeKind.REG, fused=True))
+        assert ddg.fused_groups() == [{"a", "b", "c"}]
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self):
+        original = small_graph()
+        original.add_invariant("k", consumer="mul")
+        original.live_out.add("mul")
+        clone = original.copy()
+        clone.remove_node("st")
+        clone.invariants["k"].consumers.add("ld")
+        clone.live_out.discard("mul")
+        assert "st" in original.nodes
+        assert original.invariants["k"].consumers == {"mul"}
+        assert "mul" in original.live_out
+
+    def test_copy_preserves_edge_attributes(self):
+        ddg = small_graph()
+        ddg.add_edge(
+            Edge("ld", "st", EdgeKind.MEM, DepKind.FLOW, 3, spillable=False,
+                 fused=True)
+        )
+        clone = ddg.copy()
+        copied = [e for e in clone.edges if e.kind is EdgeKind.MEM][0]
+        assert copied.distance == 3
+        assert not copied.spillable
+        assert copied.fused
+
+
+class TestValidate:
+    def test_register_edge_must_be_flow(self):
+        ddg = small_graph()
+        ddg.add_edge(Edge("ld", "st", EdgeKind.REG, DepKind.ANTI))
+        with pytest.raises(AssertionError):
+            ddg.validate()
+
+    def test_register_edge_from_store_rejected(self):
+        ddg = small_graph()
+        ddg.add_node(Node("x", Opcode.ADD))
+        ddg.add_edge(Edge("st", "x", EdgeKind.REG))
+        with pytest.raises(AssertionError):
+            ddg.validate()
+
+    def test_valid_graph_passes(self):
+        small_graph().validate()

@@ -1,0 +1,129 @@
+"""Unit tests for the iterative spilling driver (paper Figure 1b)."""
+
+import pytest
+
+from repro.core import SelectionPolicy, schedule_with_spilling
+from repro.graph import ddg_from_source
+from repro.lifetimes import register_requirements
+from repro.machine import generic_machine, p2l4
+from repro.sched import IMSScheduler
+from repro.workloads import NAMED_KERNELS, apsi47_like, apsi50_like
+
+
+class TestBasicOperation:
+    def test_fitting_loop_needs_no_spill(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=32)
+        assert result.converged
+        assert result.spilled == []
+        assert result.reschedules == 1
+
+    def test_fig2_spills_v1(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=6)
+        assert result.converged
+        assert result.spilled == ["Ld_y"]
+        assert result.final_ii == 2  # paper Figure 6
+        assert result.report.fits(6)
+
+    def test_original_graph_untouched(self, fig2_loop, fig2_machine):
+        before = len(fig2_loop.nodes)
+        schedule_with_spilling(fig2_loop, fig2_machine, available=6)
+        assert len(fig2_loop.nodes) == before
+
+    def test_result_schedule_validates(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=6)
+        result.schedule.validate()
+        result.ddg.validate()
+
+    def test_rounds_recorded(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=6)
+        assert len(result.rounds) == 2
+        assert result.rounds[0].spilled_values == ("Ld_y",)
+        assert result.rounds[1].spilled_values == ()
+
+    def test_memory_ops_grow(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=6)
+        assert result.rounds[-1].memory_ops > result.rounds[0].memory_ops
+
+
+class TestConvergenceOnHardLoops:
+    @pytest.mark.parametrize("available", [32, 16])
+    def test_apsi50_converges_by_spilling(self, available):
+        """The paper's central claim: the loop II-increase cannot handle is
+        handled by spilling."""
+        result = schedule_with_spilling(apsi50_like(), p2l4(), available)
+        assert result.converged
+        assert result.report.fits(available)
+        result.schedule.validate()
+
+    def test_apsi47_converges(self):
+        result = schedule_with_spilling(apsi47_like(), p2l4(), 32)
+        assert result.converged
+        result.schedule.validate()
+
+    def test_tiny_register_file_reports_failure_gracefully(
+        self, fig2_loop, fig2_machine
+    ):
+        result = schedule_with_spilling(fig2_loop, fig2_machine, available=1)
+        assert not result.converged
+        assert result.reason
+        assert result.schedule is not None  # best effort retained
+
+
+class TestAccelerations:
+    def test_multiple_reduces_reschedules(self):
+        loop = apsi50_like()
+        machine = p2l4()
+        single = schedule_with_spilling(
+            loop, machine, 16, multiple=False, last_ii=False
+        )
+        batched = schedule_with_spilling(
+            loop, machine, 16, multiple=True, last_ii=False
+        )
+        assert batched.reschedules <= single.reschedules
+        assert batched.converged and single.converged
+
+    def test_last_ii_never_lowers_final_ii_much(self):
+        loop = apsi50_like()
+        machine = p2l4()
+        plain = schedule_with_spilling(loop, machine, 16, last_ii=False)
+        pruned = schedule_with_spilling(loop, machine, 16, last_ii=True)
+        assert pruned.converged
+        # pruning skips IIs below the previous round's II, so the final II
+        # can only be >= the unpruned one
+        assert pruned.final_ii >= plain.final_ii
+        # ... at a big saving in scheduling attempts for multi-round runs
+        if plain.reschedules > 1:
+            assert pruned.effort.attempts <= plain.effort.attempts
+
+    def test_policy_plumbs_through(self, fig2_loop, fig2_machine):
+        for policy in SelectionPolicy:
+            result = schedule_with_spilling(
+                fig2_loop, fig2_machine, 6, policy=policy
+            )
+            assert result.converged
+
+
+class TestSchedulerAgnosticism:
+    def test_driver_with_ims(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(
+            fig2_loop, fig2_machine, 6, scheduler=IMSScheduler()
+        )
+        assert result.converged
+        result.schedule.validate()
+
+    def test_kernels_spill_down_to_small_files(self):
+        machine = p2l4()
+        for kernel in ("fir8", "stencil5", "pressure_update"):
+            ddg = ddg_from_source(NAMED_KERNELS[kernel], name=kernel)
+            result = schedule_with_spilling(ddg, machine, available=12)
+            assert result.converged, kernel
+            assert register_requirements(result.schedule).fits(12)
+
+
+class TestEstimateMode:
+    def test_inexact_mode_runs(self, fig2_loop, fig2_machine):
+        result = schedule_with_spilling(
+            fig2_loop, fig2_machine, 6, exact=False
+        )
+        assert result.converged
+        assert not result.report.exact

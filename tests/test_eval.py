@@ -1,0 +1,82 @@
+"""Tests for the evaluation harness (metrics, reporting, experiment
+drivers on a small suite)."""
+
+import pytest
+
+from repro.eval import (
+    executed_cycles,
+    format_table,
+    memory_traffic,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+from repro.eval.experiments import FIG8_VARIANTS
+from repro.machine import p2l4
+from repro.sched import HRMSScheduler
+from repro.workloads import perfect_club_like_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return perfect_club_like_suite(size=24)
+
+
+class TestMetrics:
+    def test_executed_cycles(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        # SC = 7: 100 iterations -> 106 cycles
+        assert executed_cycles(schedule, 100) == 106
+
+    def test_memory_traffic(self, fig2_loop):
+        assert memory_traffic(fig2_loop, 10) == 20  # load + store
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["x", 1234567], ["longer", 2.5]], title="T"
+        )
+        assert "T" in text
+        assert "1,234,567" in text
+        assert "2.50" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows
+
+
+class TestExperimentDrivers:
+    def test_table1_runs(self, tiny_suite):
+        result = run_table1(tiny_suite, machines=[p2l4()])
+        assert len(result.rows) == 2  # two budgets, one machine
+        assert "Table 1" in result.render()
+
+    def test_fig4_shapes(self):
+        result = run_fig4()
+        assert set(result.trails) == {"apsi47_like", "apsi50_like"}
+        assert result.converged["apsi50_like"][32] is None
+        assert result.converged["apsi47_like"][32] is not None
+
+    def test_fig7_trajectories(self):
+        result = run_fig7(target_registers=16)
+        for rows in result.rounds.values():
+            assert rows
+            spilled_counts = [row[0] for row in rows]
+            assert spilled_counts == sorted(spilled_counts)
+        assert "Figure 7" in result.render()
+
+    def test_fig8_rows_complete(self, tiny_suite):
+        result = run_fig8(tiny_suite, machines=[p2l4()])
+        # 2 budgets x (ideal + 4 variants)
+        assert len(result.rows) == 2 * (1 + len(FIG8_VARIANTS))
+        for row in result.rows:
+            assert row["cycles"] > 0
+            assert row["traffic"] > 0
+
+    def test_fig9_consistency(self, tiny_suite):
+        result = run_fig9(tiny_suite, machines=[p2l4()])
+        for _, _, subset, inc, spill, best, ideal in result.rows:
+            if subset:
+                assert best <= inc
+                assert ideal <= best

@@ -1,0 +1,70 @@
+"""Unit tests for the operation vocabulary."""
+
+import pytest
+
+from repro.ir.operations import (
+    FuClass,
+    Opcode,
+    Operation,
+    is_load_opcode,
+    is_memory_opcode,
+    is_store_opcode,
+    opcode_fu_class,
+)
+
+
+class TestOpcodeClassification:
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert isinstance(opcode_fu_class(opcode), FuClass)
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.LOAD, Opcode.STORE, Opcode.SPILL_LOAD, Opcode.SPILL_STORE],
+    )
+    def test_memory_opcodes(self, opcode):
+        assert is_memory_opcode(opcode)
+        assert opcode_fu_class(opcode) is FuClass.MEMORY
+
+    @pytest.mark.parametrize(
+        "opcode", [Opcode.ADD, Opcode.MUL, Opcode.DIV, Opcode.SQRT, Opcode.CMP]
+    )
+    def test_non_memory_opcodes(self, opcode):
+        assert not is_memory_opcode(opcode)
+
+    def test_loads(self):
+        assert is_load_opcode(Opcode.LOAD)
+        assert is_load_opcode(Opcode.SPILL_LOAD)
+        assert not is_load_opcode(Opcode.STORE)
+        assert not is_load_opcode(Opcode.ADD)
+
+    def test_stores(self):
+        assert is_store_opcode(Opcode.STORE)
+        assert is_store_opcode(Opcode.SPILL_STORE)
+        assert not is_store_opcode(Opcode.LOAD)
+
+    def test_divsqrt_class(self):
+        assert opcode_fu_class(Opcode.DIV) is FuClass.DIVSQRT
+        assert opcode_fu_class(Opcode.SQRT) is FuClass.DIVSQRT
+
+    def test_arithmetic_classes(self):
+        assert opcode_fu_class(Opcode.ADD) is FuClass.ADDER
+        assert opcode_fu_class(Opcode.SUB) is FuClass.ADDER
+        assert opcode_fu_class(Opcode.MUL) is FuClass.MULTIPLIER
+
+
+class TestOperation:
+    def test_value_production(self):
+        load = Operation("ld", Opcode.LOAD)
+        store = Operation("st", Opcode.STORE, operands=["ld"])
+        assert load.produces_value
+        assert not store.produces_value
+
+    def test_spill_store_produces_no_value(self):
+        assert not Operation("ss", Opcode.SPILL_STORE).produces_value
+
+    def test_str_contains_name_and_opcode(self):
+        op = Operation("add1", Opcode.ADD, operands=["a", "b"])
+        text = str(op)
+        assert "add1" in text
+        assert "add" in text

@@ -1,0 +1,164 @@
+"""Unit tests for machine configurations and the modulo reservation table."""
+
+import pytest
+
+from repro.ir.operations import FuClass, Opcode
+from repro.machine import (
+    ModuloReservationTable,
+    generic_machine,
+    p1l4,
+    p2l4,
+    p2l6,
+    paper_configurations,
+)
+
+
+class TestConfigurations:
+    def test_paper_latency_table(self):
+        machine = p1l4()
+        assert machine.latency(Opcode.STORE) == 1
+        assert machine.latency(Opcode.LOAD) == 2
+        assert machine.latency(Opcode.DIV) == 17
+        assert machine.latency(Opcode.SQRT) == 30
+        assert machine.latency(Opcode.ADD) == 4
+        assert machine.latency(Opcode.MUL) == 4
+
+    def test_p2l6_latency(self):
+        machine = p2l6()
+        assert machine.latency(Opcode.ADD) == 6
+        assert machine.latency(Opcode.MUL) == 6
+        assert machine.latency(Opcode.LOAD) == 2  # unchanged
+
+    def test_unit_counts(self):
+        assert p1l4().units_of(FuClass.MEMORY) == 1
+        assert p2l4().units_of(FuClass.ADDER) == 2
+        assert p2l6().units_of(FuClass.DIVSQRT) == 2
+
+    def test_divsqrt_not_pipelined(self):
+        machine = p2l4()
+        assert not machine.is_pipelined(FuClass.DIVSQRT)
+        assert machine.is_pipelined(FuClass.ADDER)
+        assert machine.occupancy(Opcode.DIV) == 17
+        assert machine.occupancy(Opcode.ADD) == 1
+
+    def test_generic_machine_routes_everything(self):
+        machine = generic_machine(units=4, latency=2)
+        for opcode in Opcode:
+            assert machine.fu_class(opcode) is FuClass.GENERIC
+            assert machine.latency(opcode) == 2
+
+    def test_paper_configurations_order(self):
+        names = [m.name for m in paper_configurations()]
+        assert names == ["P1L4", "P2L4", "P2L6"]
+
+    def test_memory_units(self):
+        assert p1l4().memory_units() == 1
+        assert p2l4().memory_units() == 2
+        assert generic_machine(units=4).memory_units() == 4
+
+    def test_spill_ops_match_plain_ops(self):
+        machine = p1l4()
+        assert machine.latency(Opcode.SPILL_LOAD) == machine.latency(Opcode.LOAD)
+        assert machine.latency(Opcode.SPILL_STORE) == machine.latency(Opcode.STORE)
+
+
+class TestMRTPipelined:
+    def test_place_and_conflict(self):
+        mrt = ModuloReservationTable(p1l4(), ii=4)
+        mrt.place("ld1", Opcode.LOAD, 0)
+        assert not mrt.can_place(Opcode.LOAD, 0)
+        assert mrt.can_place(Opcode.LOAD, 1)
+        assert mrt.can_place(Opcode.ADD, 0)  # different class
+
+    def test_modulo_wraparound(self):
+        mrt = ModuloReservationTable(p1l4(), ii=4)
+        mrt.place("ld1", Opcode.LOAD, 2)
+        assert not mrt.can_place(Opcode.LOAD, 6)  # 6 mod 4 == 2
+        assert not mrt.can_place(Opcode.LOAD, -2)  # -2 mod 4 == 2
+
+    def test_two_units_two_ops(self):
+        mrt = ModuloReservationTable(p2l4(), ii=2)
+        mrt.place("a", Opcode.ADD, 0)
+        assert mrt.can_place(Opcode.ADD, 0)
+        mrt.place("b", Opcode.ADD, 0)
+        assert not mrt.can_place(Opcode.ADD, 0)
+
+    def test_remove_frees_slot(self):
+        mrt = ModuloReservationTable(p1l4(), ii=2)
+        mrt.place("a", Opcode.ADD, 1)
+        mrt.remove("a")
+        assert mrt.can_place(Opcode.ADD, 1)
+        assert not mrt.is_placed("a")
+
+    def test_double_place_rejected(self):
+        mrt = ModuloReservationTable(p1l4(), ii=2)
+        mrt.place("a", Opcode.ADD, 0)
+        with pytest.raises(RuntimeError):
+            mrt.place("a", Opcode.ADD, 1)
+
+    def test_place_without_room_raises(self):
+        mrt = ModuloReservationTable(p1l4(), ii=1)
+        mrt.place("a", Opcode.ADD, 0)
+        with pytest.raises(RuntimeError):
+            mrt.place("b", Opcode.ADD, 0)
+
+
+class TestMRTNonPipelined:
+    def test_divide_occupies_latency_cycles(self):
+        mrt = ModuloReservationTable(p1l4(), ii=20)
+        mrt.place("d", Opcode.DIV, 0)
+        # unit busy cycles 0..16
+        assert not mrt.can_place(Opcode.DIV, 16)
+        assert not mrt.can_place(Opcode.SQRT, 5)
+        # remaining free window is 17..19 (3 cycles) — too small for a div
+        assert not mrt.can_place(Opcode.DIV, 17)
+
+    def test_divide_needs_ii_at_least_latency(self):
+        mrt = ModuloReservationTable(p1l4(), ii=16)
+        assert not mrt.can_place(Opcode.DIV, 0)
+        mrt17 = ModuloReservationTable(p1l4(), ii=17)
+        assert mrt17.can_place(Opcode.DIV, 0)
+
+    def test_two_divides_need_two_units(self):
+        mrt = ModuloReservationTable(p2l4(), ii=17)
+        mrt.place("d1", Opcode.DIV, 0)
+        assert mrt.can_place(Opcode.DIV, 5)
+        mrt.place("d2", Opcode.DIV, 5)
+        assert not mrt.can_place(Opcode.DIV, 11)
+
+    def test_non_pipelined_wraparound_reservation(self):
+        mrt = ModuloReservationTable(p1l4(), ii=18)
+        mrt.place("d", Opcode.DIV, 10)  # busy 10..26 mod 18 = 10..17,0..8
+        assert not mrt.can_place(Opcode.SQRT, 0)
+        # cycle 9 is the only free cycle; a sqrt (30 > 18) can never fit
+        assert not mrt.can_place(Opcode.SQRT, 9)
+
+
+class TestMRTIntrospection:
+    def test_conflicting_reports_occupants(self):
+        mrt = ModuloReservationTable(p1l4(), ii=2)
+        mrt.place("a", Opcode.ADD, 0)
+        assert mrt.conflicting(Opcode.ADD, 0) == {"a"}
+        assert mrt.conflicting(Opcode.ADD, 1) == set()
+
+    def test_conflicting_prefers_least_loaded_unit(self):
+        mrt = ModuloReservationTable(p2l4(), ii=2)
+        mrt.place("a", Opcode.ADD, 0)
+        # second unit free: evicting nothing suffices
+        assert mrt.conflicting(Opcode.ADD, 0) == set()
+
+    def test_utilization(self):
+        mrt = ModuloReservationTable(p1l4(), ii=4)
+        assert mrt.utilization(FuClass.MEMORY) == 0.0
+        mrt.place("ld", Opcode.LOAD, 0)
+        mrt.place("st", Opcode.STORE, 1)
+        assert mrt.utilization(FuClass.MEMORY) == pytest.approx(0.5)
+
+    def test_render_mentions_placements(self):
+        mrt = ModuloReservationTable(p1l4(), ii=2)
+        mrt.place("myop", Opcode.ADD, 0)
+        assert "myop" in mrt.render()
+
+    def test_bad_ii_rejected(self):
+        with pytest.raises(ValueError):
+            ModuloReservationTable(p1l4(), ii=0)

@@ -1,0 +1,91 @@
+"""Unit tests for MII computation (ResMII, RecMII, MII)."""
+
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.machine import generic_machine, p1l4, p2l4
+from repro.sched import compute_mii, rec_mii, res_mii
+
+
+class TestResMII:
+    def test_fig2_on_four_generic_units(self, fig2_loop, fig2_machine):
+        # 4 operations on 4 units -> ResMII 1 (paper Section 2.2).
+        assert res_mii(fig2_loop, fig2_machine) == 1
+
+    def test_memory_bound(self):
+        # 3 memory ops on one memory unit -> ResMII 3.
+        ddg = ddg_from_source("z[i] = x[i] + y[i]")
+        assert res_mii(ddg, p1l4()) == 3
+
+    def test_two_units_halve_the_bound(self):
+        ddg = ddg_from_source("z[i] = x[i] + y[i]")
+        assert res_mii(ddg, p2l4()) == 2
+
+    def test_non_pipelined_floor(self):
+        # A single divide forces ResMII >= 17 (it owns its unit that long).
+        ddg = ddg_from_source("z[i] = x[i] / y[i]")
+        assert res_mii(ddg, p1l4()) >= 17
+
+    def test_two_divides_on_one_unit(self):
+        ddg = ddg_from_source("z[i] = (x[i] / y[i]) / w[i]")
+        assert res_mii(ddg, p1l4()) >= 34
+
+    def test_sqrt_floor(self):
+        ddg = ddg_from_source("z[i] = sqrt(x[i])")
+        assert res_mii(ddg, p1l4()) >= 30
+
+    def test_missing_unit_class_rejected(self):
+        from repro.ir.operations import FuClass
+        from repro.machine.machine import MachineConfig, _paper_latencies
+
+        crippled = MachineConfig(
+            name="no-mem",
+            fu_counts={FuClass.ADDER: 1, FuClass.MULTIPLIER: 1,
+                       FuClass.DIVSQRT: 1},
+            latencies=_paper_latencies(4),
+        )
+        ddg = ddg_from_source("z[i] = x[i]*a")
+        with pytest.raises(ValueError):
+            res_mii(ddg, crippled)
+
+
+class TestRecMII:
+    def test_reduction_recurrence(self):
+        # s = s + ... : one add of latency 4 around a distance-1 cycle.
+        ddg = ddg_from_source("s = s + x[i]*y[i]")
+        assert rec_mii(ddg, p2l4()) == 4
+
+    def test_memory_recurrence(self):
+        # store(1) -> load(2) -> mul(4) -> store, distance 1.
+        ddg = ddg_from_source("p[i] = p[i-1]*x[i]")
+        assert rec_mii(ddg, p2l4()) == 7
+
+    def test_acyclic_loop(self, fig2_loop):
+        assert rec_mii(fig2_loop, p2l4()) == 1
+
+
+class TestComputeMII:
+    def test_max_of_both_bounds(self):
+        ddg = ddg_from_source("s = s + x[i]*y[i]")
+        machine = p1l4()
+        assert compute_mii(ddg, machine) == max(
+            res_mii(ddg, machine), rec_mii(ddg, machine)
+        )
+
+    def test_fig2_mii_is_one(self, fig2_loop, fig2_machine):
+        assert compute_mii(fig2_loop, fig2_machine) == 1
+
+    def test_empty_graph(self):
+        from repro.graph.ddg import DDG
+
+        assert compute_mii(DDG(), p1l4()) == 1
+
+    def test_mii_is_a_true_lower_bound(self, any_scheduler, paper_machine):
+        # No scheduler may beat the MII on any named kernel.
+        from repro.workloads import NAMED_KERNELS
+
+        for name in ("daxpy", "dot", "stencil3", "prefix_product"):
+            ddg = ddg_from_source(NAMED_KERNELS[name], name=name)
+            mii = compute_mii(ddg, paper_machine)
+            schedule = any_scheduler.schedule(ddg, paper_machine)
+            assert schedule.ii >= mii

@@ -1,0 +1,69 @@
+"""Unit tests for modulo variable expansion."""
+
+import math
+
+from repro.lifetimes import mve_expansion
+from repro.lifetimes.lifetime import variant_lifetimes
+from repro.sched import HRMSScheduler
+
+
+class TestMVE:
+    def test_fig2_at_ii1_needs_seven_copies_of_v1(
+        self, fig2_loop, fig2_machine
+    ):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        plan = mve_expansion(schedule)
+        # V1 lives 7 cycles at II=1 -> 7 compile-time names.
+        assert plan.copies["Ld_y"] == 7
+
+    def test_copies_match_ceil_lt_over_ii(self, fig2_loop, fig2_machine):
+        for ii in (1, 2, 3):
+            schedule = HRMSScheduler().try_schedule_at(
+                fig2_loop, fig2_machine, ii
+            )
+            plan = mve_expansion(schedule)
+            for lifetime in variant_lifetimes(schedule):
+                if lifetime.length <= 0:
+                    continue
+                assert plan.copies[lifetime.value] == max(
+                    1, math.ceil(lifetime.length / ii)
+                )
+
+    def test_unroll_is_lcm_of_copies(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        plan = mve_expansion(schedule)
+        unroll = 1
+        for count in plan.copies.values():
+            unroll = math.lcm(unroll, count)
+        assert plan.unroll == unroll
+
+    def test_register_count_includes_invariants(
+        self, fig2_loop, fig2_machine
+    ):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        plan = mve_expansion(schedule)
+        assert plan.registers == sum(plan.copies.values()) + 1
+
+    def test_names_for(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        plan = mve_expansion(schedule)
+        names = plan.names_for("Ld_y")
+        assert len(names) == plan.copies["Ld_y"]
+        assert len(set(names)) == len(names)
+
+    def test_unroll_cap(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 1)
+        plan = mve_expansion(schedule, max_unroll=3)
+        assert plan.unroll <= 3
+
+    def test_mve_needs_at_least_rotating_allocation(
+        self, fig2_loop, fig2_machine
+    ):
+        """MVE can never beat the rotating file: each value needs
+        ceil(LT/II) names there too."""
+        from repro.lifetimes import allocate_registers
+
+        schedule = HRMSScheduler().try_schedule_at(fig2_loop, fig2_machine, 2)
+        plan = mve_expansion(schedule)
+        allocation = allocate_registers(schedule)
+        assert plan.registers - 1 >= allocation.registers

@@ -1,0 +1,175 @@
+"""Unit tests for the mini loop-language parser."""
+
+import pytest
+
+from repro.ir import LoopParseError, parse_loop
+from repro.ir.loop import ArrayRef
+from repro.ir.operations import Opcode
+
+
+def ops_of(body, opcode):
+    return [op for op in body.operations if op.opcode is opcode]
+
+
+class TestBasicParsing:
+    def test_fig2_loop_shape(self):
+        body = parse_loop("x[i] = y[i]*a + y[i-3]")
+        assert len(ops_of(body, Opcode.LOAD)) == 2  # y[i] and y[i-3]
+        assert len(ops_of(body, Opcode.MUL)) == 1
+        assert len(ops_of(body, Opcode.ADD)) == 1
+        assert len(ops_of(body, Opcode.STORE)) == 1
+        assert body.invariants == {"a"}
+
+    def test_store_target_ref(self):
+        body = parse_loop("x[i+2] = y[i]")
+        store = ops_of(body, Opcode.STORE)[0]
+        assert store.mem == ArrayRef("x", 2)
+
+    def test_load_offsets(self):
+        body = parse_loop("z[i] = y[i-3] + y[i+1] + y[i]")
+        refs = {op.mem for op in ops_of(body, Opcode.LOAD)}
+        assert refs == {ArrayRef("y", -3), ArrayRef("y", 1), ArrayRef("y", 0)}
+
+    def test_load_cse_same_ref(self):
+        body = parse_loop("z[i] = y[i]*y[i] + y[i]")
+        assert len(ops_of(body, Opcode.LOAD)) == 1
+
+    def test_immediates_are_not_loads_or_invariants(self):
+        body = parse_loop("z[i] = 2*x[i] + 0.5")
+        assert body.invariants == set()
+        assert len(ops_of(body, Opcode.LOAD)) == 1
+
+    def test_precedence_mul_before_add(self):
+        body = parse_loop("s = a + b*c")
+        add = ops_of(body, Opcode.ADD)[0]
+        mul = ops_of(body, Opcode.MUL)[0]
+        assert mul.name in add.operands
+
+    def test_parentheses_override_precedence(self):
+        body = parse_loop("s = (a + b)*c")
+        mul = ops_of(body, Opcode.MUL)[0]
+        add = ops_of(body, Opcode.ADD)[0]
+        assert add.name in mul.operands
+
+    def test_unary_minus(self):
+        body = parse_loop("s = -x[i]")
+        assert len(ops_of(body, Opcode.NEG)) == 1
+
+    def test_division_and_sqrt(self):
+        body = parse_loop("z[i] = x[i] / sqrt(y[i])")
+        assert len(ops_of(body, Opcode.DIV)) == 1
+        assert len(ops_of(body, Opcode.SQRT)) == 1
+
+    def test_multiple_statements_lines_and_semicolons(self):
+        body = parse_loop("t = x[i]; u = t*t\nz[i] = u")
+        assert len(ops_of(body, Opcode.MUL)) == 1
+        assert len(ops_of(body, Opcode.STORE)) == 1
+
+    def test_comments_ignored(self):
+        body = parse_loop("# header\nz[i] = x[i]  # trailing\n# footer")
+        assert len(body) == 2  # load + store
+
+
+class TestScalarsAndRecurrences:
+    def test_invariant_detection(self):
+        body = parse_loop("z[i] = a*x[i] + b")
+        assert body.invariants == {"a", "b"}
+
+    def test_reduction_becomes_carried_reference(self):
+        body = parse_loop("s = s + x[i]")
+        add = ops_of(body, Opcode.ADD)[0]
+        # the read of s resolves to the definition with a @1 marker
+        assert any(operand.endswith("@1") for operand in add.operands)
+        assert "s" not in body.invariants
+        # live_out records the defining operation of the reduction value
+        assert add.name in body.live_out
+
+    def test_scalar_defined_then_used_same_iteration(self):
+        body = parse_loop("t = x[i]*x[i]\nz[i] = t + t")
+        add = ops_of(body, Opcode.ADD)[0]
+        assert not any(op.endswith("@1") for op in add.operands)
+
+    def test_scalar_redefinition(self):
+        body = parse_loop("t = x[i]\nt = t + y[i]\nz[i] = t")
+        store = ops_of(body, Opcode.STORE)[0]
+        # the store must reference the *second* definition
+        add = ops_of(body, Opcode.ADD)[0]
+        assert store.operands[0] == add.name
+
+    def test_bare_alias_materializes_copy(self):
+        body = parse_loop("t = a\nz[i] = t*x[i]")
+        assert len(ops_of(body, Opcode.COPY)) == 1
+
+    def test_live_out_directive(self):
+        body = parse_loop("live_out t\nt = x[i]*2")
+        mul = ops_of(body, Opcode.MUL)[0]
+        assert mul.name in body.live_out
+
+
+class TestGuards:
+    def test_guarded_scalar_becomes_select(self):
+        body = parse_loop("if (x[i] > 0) s = x[i]")
+        assert len(ops_of(body, Opcode.CMP)) == 1
+        assert len(ops_of(body, Opcode.SELECT)) == 1
+
+    def test_guarded_scalar_reads_previous_value(self):
+        body = parse_loop("if (x[i] > s) s = x[i]")
+        select = ops_of(body, Opcode.SELECT)[0]
+        assert any(operand.endswith("@1") for operand in select.operands)
+
+    def test_guarded_store_consumes_guard(self):
+        body = parse_loop("if (m[i] > 0) z[i] = x[i]")
+        store = ops_of(body, Opcode.STORE)[0]
+        cmp = ops_of(body, Opcode.CMP)[0]
+        assert cmp.name in store.operands
+
+    @pytest.mark.parametrize("rel", ["<", ">", "<=", ">=", "==", "!="])
+    def test_all_relations(self, rel):
+        body = parse_loop(f"if (x[i] {rel} 0) z[i] = x[i]")
+        assert len(ops_of(body, Opcode.CMP)) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x[i] = ",
+            "x[i] =",
+            "= y[i]",
+            "x[j] = y[i]",
+            "x[i+a] = y[i]",
+            "x[i] = y[i",
+            "x[i] = (y[i]",
+            "x[i] * y[i]",
+            "x[i] = y[i] +",
+            "if x[i] > 0 z[i] = 1",
+            "x[i] = $bad",
+        ],
+    )
+    def test_malformed_input_raises(self, source):
+        with pytest.raises(LoopParseError):
+            parse_loop(source)
+
+    def test_unknown_function_is_an_error(self):
+        # `cos` is not a function; `cos (` parses as scalar then stray paren
+        with pytest.raises(LoopParseError):
+            parse_loop("z[i] = cos(x[i]) +")
+
+
+class TestBookkeeping:
+    def test_source_preserved(self):
+        source = "z[i] = x[i]"
+        body = parse_loop(source, name="zl")
+        assert body.source == source
+        assert body.name == "zl"
+
+    def test_operation_names_unique(self):
+        body = parse_loop(
+            "t1 = x[i] + y[i]\nt2 = x[i] - y[i]\nz[i] = t1*t2"
+        )
+        names = [op.name for op in body.operations]
+        assert len(names) == len(set(names))
+
+    def test_memory_operations_listing(self):
+        body = parse_loop("z[i] = x[i] + y[i]")
+        assert len(body.memory_operations) == 3

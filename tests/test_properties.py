@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants:
+
+* any generated loop schedules validly on any machine, at any II >= the
+  first feasible one;
+* MaxLive is invariant under the schedule's validity checks and the
+  allocator always covers it with bounded excess;
+* spilling any legal candidate preserves graph well-formedness and never
+  leaves the spilled lifetime behind;
+* the MRT never double-books a unit;
+* the pressure pattern sums to the total lifetime mass.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.select import spill_candidates
+from repro.core.spill import apply_spill
+from repro.graph import ddg_from_source
+from repro.graph.analysis import edge_latency
+from repro.lifetimes import allocate_registers, max_live, pressure_pattern
+from repro.lifetimes.lifetime import Lifetime, variant_lifetimes
+from repro.lifetimes.maxlive import live_instances
+from repro.machine import ModuloReservationTable, generic_machine, p1l4, p2l4
+from repro.sched import HRMSScheduler, IMSScheduler, compute_mii
+from repro.workloads.synthetic import generate_loop_spec
+
+# ----------------------------------------------------------------------
+# strategies
+loop_sources = st.builds(
+    lambda seed, index: generate_loop_spec(random.Random(seed), index).source,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=50),
+)
+
+machines = st.sampled_from([p1l4(), p2l4(), generic_machine(4, 2),
+                            generic_machine(2, 3), generic_machine(1, 1)])
+
+lifetime_shapes = st.builds(
+    lambda start, sched, dist: Lifetime(
+        "v", start=start, sched_component=sched, dist_component=dist,
+        consumers=("c",),
+    ),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=40),
+)
+
+
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(source=loop_sources, machine=machines)
+def test_generated_loops_schedule_validly(source, machine):
+    ddg = ddg_from_source(source)
+    schedule = HRMSScheduler().schedule(ddg, machine)
+    schedule.validate()
+    assert schedule.ii >= compute_mii(ddg, machine)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=loop_sources)
+def test_ims_agrees_on_validity(source):
+    ddg = ddg_from_source(source)
+    machine = p2l4()
+    schedule = IMSScheduler().schedule(ddg, machine)
+    schedule.validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=loop_sources, extra=st.integers(min_value=0, max_value=5))
+def test_any_ii_at_or_above_feasible_works(source, extra):
+    ddg = ddg_from_source(source)
+    machine = p2l4()
+    base = HRMSScheduler().schedule(ddg, machine)
+    later = HRMSScheduler().try_schedule_at(ddg, machine, base.ii + extra)
+    assert later is not None
+    later.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=loop_sources)
+def test_allocator_covers_maxlive_with_bounded_excess(source):
+    ddg = ddg_from_source(source)
+    schedule = HRMSScheduler().schedule(ddg, p2l4())
+    allocation = allocate_registers(schedule)
+    bound = max_live(schedule, include_invariants=False)
+    assert allocation.registers >= bound
+    # end-fit is near-optimal: small absolute excess, scaling mildly with
+    # extreme pressure (the paper's populations see MaxLive+1 almost always)
+    assert allocation.registers <= bound + max(3, bound // 20)
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=loop_sources)
+def test_spilling_preserves_wellformedness(source):
+    ddg = ddg_from_source(source)
+    machine = p2l4()
+    schedule = HRMSScheduler().schedule(ddg, machine)
+    candidates = spill_candidates(schedule)
+    if not candidates:
+        return
+    target = candidates[0].lifetime
+    apply_spill(ddg, target)
+    ddg.validate()
+    # the spilled lifetime is gone: either the producer vanished, or its
+    # only register consumers are now fused spill edges
+    if not target.is_invariant and target.value in ddg.nodes:
+        for edge in ddg.reg_out_edges(target.value):
+            assert not edge.spillable
+    rescheduled = HRMSScheduler().schedule(ddg, machine)
+    rescheduled.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(lifetime=lifetime_shapes, ii=st.integers(min_value=1, max_value=17))
+def test_pressure_mass_conservation(lifetime, ii):
+    """Summing live instances over one II recovers the lifetime length —
+    every cycle of life occupies exactly one register-cycle."""
+    total = sum(live_instances(lifetime, cycle, ii) for cycle in range(ii))
+    length = lifetime.sched_component + lifetime.dist_component
+    assert total == length
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ii=st.integers(min_value=1, max_value=12),
+    placements=st.lists(
+        st.tuples(
+            st.sampled_from(["load", "store", "add", "mul"]),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=12,
+    ),
+)
+def test_mrt_never_double_books(ii, placements):
+    from repro.ir.operations import Opcode
+
+    opcode_map = {
+        "load": Opcode.LOAD, "store": Opcode.STORE,
+        "add": Opcode.ADD, "mul": Opcode.MUL,
+    }
+    machine = p2l4()
+    mrt = ModuloReservationTable(machine, ii)
+    placed = []
+    for index, (kind, start) in enumerate(placements):
+        opcode = opcode_map[kind]
+        if mrt.can_place(opcode, start):
+            mrt.place(f"op{index}", opcode, start)
+            placed.append((f"op{index}", opcode, start))
+    # occupancy accounting: per class, slots used == placements (pipelined)
+    from collections import Counter
+
+    per_class = Counter(machine.fu_class(op) for _, op, _ in placed)
+    for fu_class, count in per_class.items():
+        used = mrt.utilization(fu_class) * machine.units_of(fu_class) * ii
+        assert round(used) == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=loop_sources, ii_bump=st.integers(min_value=0, max_value=4))
+def test_schedule_dependences_hold_by_construction(source, ii_bump):
+    """Re-derive every dependence inequality from scratch (independent of
+    Schedule.validate) as a second witness."""
+    ddg = ddg_from_source(source)
+    machine = p2l4()
+    schedule = HRMSScheduler().schedule(ddg, machine, min_ii=1 + ii_bump)
+    latencies = machine.latencies_for(ddg)
+    for edge in ddg.edges:
+        lhs = schedule.times[edge.dst] + schedule.ii * edge.distance
+        rhs = schedule.times[edge.src] + edge_latency(edge, latencies)
+        assert lhs >= rhs
+
+
+@settings(max_examples=20, deadline=None)
+@given(source=loop_sources)
+def test_pattern_peak_equals_maxlive(source):
+    ddg = ddg_from_source(source)
+    schedule = HRMSScheduler().schedule(ddg, p2l4())
+    pattern = pressure_pattern(schedule)
+    assert max(pattern) == max_live(schedule)
+    assert len(pattern) == schedule.ii
+    assert all(v >= 0 for v in pattern)
+
+
+@settings(max_examples=20, deadline=None)
+@given(source=loop_sources)
+def test_lifetimes_start_at_producer(source):
+    ddg = ddg_from_source(source)
+    schedule = HRMSScheduler().schedule(ddg, p2l4())
+    for lifetime in variant_lifetimes(schedule):
+        assert lifetime.start == schedule.times[lifetime.value]
+        assert lifetime.length >= 0

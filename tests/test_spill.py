@@ -1,0 +1,232 @@
+"""Unit tests for the spill-code DDG transformation (paper Section 4.2-4.3)."""
+
+import pytest
+
+from repro.core.spill import SpillHome, apply_spill
+from repro.graph import ddg_from_source
+from repro.graph.ddg import DepKind, EdgeKind
+from repro.ir.loop import ArrayRef
+from repro.ir.operations import Opcode
+from repro.lifetimes.lifetime import variant_lifetimes, invariant_lifetimes
+from repro.machine import generic_machine
+from repro.sched import HRMSScheduler
+
+
+def lifetime_of(schedule, value):
+    for lifetime in variant_lifetimes(schedule):
+        if lifetime.value == value:
+            return lifetime
+    for lifetime in invariant_lifetimes(schedule):
+        if lifetime.value == value:
+            return lifetime
+    raise KeyError(value)
+
+
+def scheduled(ddg, machine=None):
+    machine = machine or generic_machine(4, 2)
+    return HRMSScheduler().schedule(ddg, machine)
+
+
+class TestGeneralVariantSpill:
+    """No optimization applies: store + one load per consumer."""
+
+    @pytest.fixture
+    def spilled(self):
+        # mul1's producer is a MUL (not a load), consumer is an add (no
+        # store consumer) -> the general transformation.
+        ddg = ddg_from_source("z[i] = (x[i]*x[i]) + y[i]\nw[i] = x[i]*x[i] + 1")
+        schedule = scheduled(ddg)
+        target = lifetime_of(schedule, "mul1")
+        added = apply_spill(ddg, target)
+        return ddg, added
+
+    def test_store_and_loads_added(self, spilled):
+        ddg, added = spilled
+        stores = [n for n in added if ddg.nodes[n].opcode is Opcode.SPILL_STORE]
+        loads = [n for n in added if ddg.nodes[n].opcode is Opcode.SPILL_LOAD]
+        assert len(stores) == 1
+        assert len(loads) >= 1
+
+    def test_producer_feeds_spill_store_fused(self, spilled):
+        ddg, _ = spilled
+        edges = ddg.reg_out_edges("mul1")
+        assert len(edges) == 1
+        edge = edges[0]
+        assert ddg.nodes[edge.dst].opcode is Opcode.SPILL_STORE
+        assert edge.fused and not edge.spillable
+
+    def test_memory_edges_connect_store_to_loads(self, spilled):
+        ddg, added = spilled
+        store = next(n for n in added
+                     if ddg.nodes[n].opcode is Opcode.SPILL_STORE)
+        memory_edges = [e for e in ddg.out_edges(store)
+                        if e.kind is EdgeKind.MEM]
+        assert memory_edges
+        assert all(e.dep is DepKind.FLOW for e in memory_edges)
+
+    def test_spill_home_is_private(self, spilled):
+        ddg, added = spilled
+        store = next(n for n in added
+                     if ddg.nodes[n].opcode is Opcode.SPILL_STORE)
+        assert isinstance(ddg.nodes[store].mem, SpillHome)
+
+    def test_graph_still_valid_and_schedulable(self, spilled):
+        ddg, _ = spilled
+        ddg.validate()
+        schedule = scheduled(ddg)
+        schedule.validate()
+
+
+class TestProducerIsLoadOptimization:
+    """Figure 5c: no store needed, the original load dies."""
+
+    @pytest.fixture
+    def spilled_fig2(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        target = lifetime_of(schedule, "Ld_y")
+        added = apply_spill(fig2_loop, target)
+        return fig2_loop, added
+
+    def test_no_spill_store(self, spilled_fig2):
+        ddg, added = spilled_fig2
+        assert all(ddg.nodes[n].opcode is Opcode.SPILL_LOAD for n in added)
+        assert len(added) == 2  # one per consumer (paper: Ls1, Ls2)
+
+    def test_original_load_removed(self, spilled_fig2):
+        ddg, _ = spilled_fig2
+        assert "Ld_y" not in ddg.nodes
+
+    def test_distance_folded_into_address(self, spilled_fig2):
+        ddg, added = spilled_fig2
+        refs = {ddg.nodes[n].mem for n in added}
+        # the distance-3 consumer reloads y[i-3]; the other y[i]
+        assert refs == {ArrayRef("y", 0), ArrayRef("y", -3)}
+
+    def test_new_lifetimes_have_no_distance_component(
+        self, spilled_fig2, fig2_machine
+    ):
+        ddg, added = spilled_fig2
+        schedule = scheduled(ddg, fig2_machine)
+        for name in added:
+            assert lifetime_of(schedule, name).dist_component == 0
+
+    def test_not_applied_when_array_is_written(self):
+        # x is stored to: the load of x[i-1] has memory deps; the general
+        # path (spill store) must be used.
+        ddg = ddg_from_source("x[i] = x[i-1]*a + y[i]")
+        schedule = scheduled(ddg)
+        load = next(n.name for n in ddg.nodes.values()
+                    if n.is_load and n.mem.array == "x")
+        added = apply_spill(ddg, lifetime_of(schedule, load))
+        opcodes = {ddg.nodes[n].opcode for n in added}
+        assert Opcode.SPILL_STORE in opcodes
+        assert load in ddg.nodes  # original load kept
+
+
+class TestConsumerIsStoreOptimization:
+    @pytest.fixture
+    def spilled(self):
+        # add1 is consumed by the store AND by a mul in the next statement.
+        ddg = ddg_from_source("z[i] = x[i] + y[i]\nw[i] = (x[i] + y[i])*b")
+        schedule = scheduled(ddg)
+        # both statements share the add via CSE? They do not (separate adds)
+        # — pick the one feeding the store of z and check its consumers.
+        target = lifetime_of(schedule, "add1")
+        added = apply_spill(ddg, target)
+        return ddg, added, target
+
+    def test_no_new_store_added(self, spilled):
+        ddg, added, _ = spilled
+        assert all(
+            ddg.nodes[n].opcode is not Opcode.SPILL_STORE for n in added
+        )
+
+    def test_store_edge_kept_and_fused(self, spilled):
+        ddg, _, _ = spilled
+        edges = ddg.reg_out_edges("add1")
+        assert len(edges) == 1
+        assert ddg.nodes[edges[0].dst].is_store
+        assert edges[0].fused and not edges[0].spillable
+
+    def test_loads_read_the_program_store_location(self, spilled):
+        ddg, added, _ = spilled
+        if not added:
+            pytest.skip("single-consumer case: nothing else to reload")
+        for name in added:
+            node = ddg.nodes[name]
+            assert node.opcode is Opcode.SPILL_LOAD
+
+
+class TestInvariantSpill:
+    def test_invariant_spill_removes_invariant(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        target = lifetime_of(schedule, "a")
+        assert target.is_invariant
+        added = apply_spill(fig2_loop, target)
+        assert "a" not in fig2_loop.invariants
+        assert len(added) == 1  # one consumer -> one load
+        assert fig2_loop.nodes[added[0]].opcode is Opcode.SPILL_LOAD
+        fig2_loop.validate()
+
+    def test_spilled_invariant_loads_are_fused(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        apply_spill(fig2_loop, lifetime_of(schedule, "a"))
+        load_edges = [
+            e for e in fig2_loop.edges
+            if fig2_loop.nodes[e.src].opcode is Opcode.SPILL_LOAD
+        ]
+        assert all(e.fused and not e.spillable for e in load_edges)
+
+
+class TestDeadlockAvoidance:
+    def test_spill_created_values_never_reselected(
+        self, fig2_loop, fig2_machine
+    ):
+        """Paper Section 4.3: re-spilling V13 of Figure 5c would recreate
+        the same graph forever; marking prevents it."""
+        from repro.core.select import spill_candidates
+
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        apply_spill(fig2_loop, lifetime_of(schedule, "Ld_y"))
+        schedule2 = scheduled(fig2_loop, fig2_machine)
+        names = {c.lifetime.value for c in spill_candidates(schedule2)}
+        assert not any(name.startswith("Ls") for name in names)
+
+    def test_unmarked_spill_is_reselectable(self, fig2_loop, fig2_machine):
+        from repro.core.select import spill_candidates
+
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        apply_spill(
+            fig2_loop,
+            lifetime_of(schedule, "Ld_y"),
+            mark_non_spillable=False,
+        )
+        # ablation mode: the new edges remain spillable, but the values are
+        # still produced by spill loads, which the lifetime layer also
+        # marks -- the safeguard is belt and braces.  Check edges only.
+        load_edges = [
+            e for e in fig2_loop.edges
+            if fig2_loop.nodes[e.src].opcode is Opcode.SPILL_LOAD
+        ]
+        assert all(e.spillable for e in load_edges)
+
+
+class TestErrors:
+    def test_spilling_dead_value_rejected(self, fig2_machine):
+        from repro.lifetimes.lifetime import Lifetime
+
+        ddg = ddg_from_source("z[i] = x[i]")
+        ghost = Lifetime("Ld_x", 0, 2, 0, consumers=())
+        ddg.remove_edge(ddg.reg_out_edges("Ld_x")[0])
+        with pytest.raises(ValueError):
+            apply_spill(ddg, ghost)
+
+    def test_operand_renaming(self, fig2_loop, fig2_machine):
+        schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
+        apply_spill(fig2_loop, lifetime_of(schedule, "Ld_y"))
+        add = fig2_loop.nodes["add1"]
+        assert any(operand.startswith("Ls") for operand in add.operands)
+        assert not any(
+            operand == "Ld_y" or operand.startswith("Ld_y@")
+            for operand in add.operands
+        )

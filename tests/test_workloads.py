@@ -1,0 +1,114 @@
+"""Tests for the workload suite: determinism, category mix, and health."""
+
+import random
+
+import pytest
+
+from repro.graph import ddg_from_source
+from repro.machine import p2l4
+from repro.sched import HRMSScheduler
+from repro.workloads import (
+    NAMED_KERNELS,
+    apsi47_like,
+    apsi50_like,
+    generate_loop_spec,
+    perfect_club_like_suite,
+)
+from repro.workloads.suite import suite_size
+
+
+class TestNamedKernels:
+    def test_all_parse_and_build(self):
+        for name, source in NAMED_KERNELS.items():
+            ddg = ddg_from_source(source, name=name)
+            ddg.validate()
+            assert len(ddg) >= 2, name
+
+
+class TestApsiAnalogues:
+    def test_apsi47_profile(self):
+        from repro.core.increase_ii import distance_register_floor
+
+        loop = apsi47_like()
+        # convergent under II increase: floor safely below 16
+        assert distance_register_floor(loop) < 16
+
+    def test_apsi50_profile(self):
+        from repro.core.increase_ii import distance_register_floor
+
+        loop = apsi50_like()
+        assert distance_register_floor(loop) > 32
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = [generate_loop_spec(random.Random(42), i) for i in range(30)]
+        b = [generate_loop_spec(random.Random(42), i) for i in range(30)]
+        assert [s.source for s in a] == [s.source for s in b]
+        assert [s.weight for s in a] == [s.weight for s in b]
+
+    def test_different_seeds_differ(self):
+        a = [generate_loop_spec(random.Random(1), i) for i in range(20)]
+        b = [generate_loop_spec(random.Random(2), i) for i in range(20)]
+        assert [s.source for s in a] != [s.source for s in b]
+
+    def test_all_categories_reachable(self):
+        rng = random.Random(0)
+        categories = {
+            generate_loop_spec(rng, i).category for i in range(400)
+        }
+        assert "nonconvergent" in categories
+        assert "high_pressure" in categories
+        assert "broadcast" in categories
+        assert len(categories) >= 8
+
+    def test_generated_sources_parse_and_schedule(self):
+        rng = random.Random(7)
+        machine = p2l4()
+        for index in range(60):
+            spec = generate_loop_spec(rng, index)
+            ddg = ddg_from_source(spec.source, name=spec.name)
+            ddg.validate()
+            schedule = HRMSScheduler().schedule(ddg, machine)
+            schedule.validate()
+
+    def test_weights_positive(self):
+        rng = random.Random(3)
+        for index in range(100):
+            assert generate_loop_spec(rng, index).weight >= 8
+
+
+class TestSuite:
+    def test_default_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITE_SIZE", raising=False)
+        assert suite_size() == 160
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_SIZE", "42")
+        assert suite_size() == 42
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_SIZE", "lots")
+        assert suite_size() == 160
+        monkeypatch.setenv("REPRO_SUITE_SIZE", "-5")
+        assert suite_size() == 160
+
+    def test_suite_is_deterministic(self):
+        first = perfect_club_like_suite(size=40)
+        second = perfect_club_like_suite(size=40)
+        assert [w.name for w in first] == [w.name for w in second]
+        assert [w.weight for w in first] == [w.weight for w in second]
+
+    def test_suite_contains_the_apsi_pair(self):
+        suite = perfect_club_like_suite(size=40)
+        names = {w.name for w in suite}
+        assert {"apsi47_like", "apsi50_like"} <= names
+
+    def test_requested_size_respected(self):
+        assert len(perfect_club_like_suite(size=25)) == 25
+        assert len(perfect_club_like_suite(size=70)) == 70
+
+    def test_unique_names(self):
+        suite = perfect_club_like_suite(size=80)
+        names = [w.name for w in suite]
+        assert len(names) == len(set(names))
