@@ -8,41 +8,40 @@
   selected again — the deadlock the paper describes;
 * scheduler choice (Section 5): the framework is scheduler-agnostic; the
   spilling driver must converge on HRMS, IMS and Swing alike.
+
+All runs go through the experiment engine (generic ``spill`` cells), so
+the ablation grid shares the schedule/MII caches with the other
+artifacts and can be fanned out with ``jobs``.
 """
 
 import pytest
 
-from repro.core import SelectionPolicy, schedule_with_spilling
-from repro.lifetimes import register_requirements
+from repro.core import SelectionPolicy
+from repro.eval.engine import pack_options, run_cells, workload_cells
 from repro.machine import p2l4
 from repro.sched import HRMSScheduler, IMSScheduler, SwingScheduler
+from repro.sched import cache as sched_cache
 
 
 @pytest.fixture(scope="module")
 def needy(suite):
     """Loops of the suite that exceed 32 registers on P2L4."""
-    machine = p2l4()
-    scheduler = HRMSScheduler()
-    selected = []
-    for workload in suite:
-        schedule = scheduler.schedule(workload.ddg, machine)
-        if not register_requirements(schedule).fits(32):
-            selected.append(workload)
-        if len(selected) >= 8:
-            break
+    run = run_cells(workload_cells("ideal", suite, p2l4()))
+    registers = {r.cell.workload: r.data["registers"] for r in run.results}
+    selected = [w for w in suite if registers[w.name] > 32][:8]
     assert selected, "suite must contain loops needing register reduction"
     return selected
 
 
 def _converged_count(needy, **options):
-    machine = p2l4()
-    converged = rounds = 0
-    for workload in needy:
-        run = schedule_with_spilling(
-            workload.ddg, machine, 32, max_rounds=40, **options
-        )
-        converged += bool(run.converged)
-        rounds += run.reschedules
+    sched_cache.clear()  # each configuration is timed from a cold cache
+    cells = workload_cells(
+        "spill", needy, p2l4(), budget=32,
+        options=pack_options(dict(max_rounds=40, **options)),
+    )
+    run = run_cells(cells)
+    converged = sum(bool(r.data["converged"]) for r in run.results)
+    rounds = sum(r.data["reschedules"] for r in run.results)
     return converged, rounds
 
 
@@ -78,30 +77,24 @@ def test_ablation_scheduler_agnostic(benchmark, needy, scheduler_cls, record):
     """The spilling framework works with any core scheduler (paper: 'the
     techniques presented can also be used with other scheduling
     techniques')."""
-    machine = p2l4()
+    cells = workload_cells(
+        "spill", needy, p2l4(), budget=32,
+        scheduler=scheduler_cls(),
+        options=pack_options(dict(policy=SelectionPolicy.MAX_LT_TRAF)),
+    )
+    def run_cold():
+        sched_cache.clear()  # compare schedulers, not cache warmth
+        return run_cells(cells)
 
-    def run_all():
-        results = []
-        for workload in needy:
-            results.append(
-                schedule_with_spilling(
-                    workload.ddg,
-                    machine,
-                    32,
-                    scheduler=scheduler_cls(),
-                    policy=SelectionPolicy.MAX_LT_TRAF,
-                )
-            )
-        return results
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    converged = sum(bool(run.converged) for run in results)
+    run = benchmark.pedantic(run_cold, rounds=1, iterations=1)
+    converged = sum(bool(r.data["converged"]) for r in run.results)
     record(
         f"ablation_scheduler_{scheduler_cls.name}",
         f"{scheduler_cls.name}: converged {converged}/{len(needy)},"
-        f" final IIs {[run.final_ii for run in results]}",
+        f" final IIs {[r.data['ii'] for r in run.results]}",
     )
     assert converged == len(needy)
-    for run in results:
-        run.schedule.validate()
-        assert register_requirements(run.schedule).fits(32)
+    for result in run.results:
+        assert result.data["valid"], "final schedule failed validation"
+        assert result.data["registers"] is not None
+        assert result.data["registers"] <= 32

@@ -7,6 +7,7 @@ software-pipelined schedule and inspect every intermediate artifact::
     python -m repro compile -e "x[i] = y[i]*a + y[i-3]" --show all
     python -m repro mii -e "s = s + x[i]*y[i]" --machine P1L4
     python -m repro suite --size 24 --registers 32
+    python -m repro sweep --jobs 4 --json-out results.json
 
 Subcommands:
 
@@ -14,7 +15,12 @@ Subcommands:
   methods (``--method spill`` is Figure 1b, ``increase`` Figure 1a,
   ``combined`` the Section-5 proposal, ``prespill`` the [30] baseline);
 * ``mii`` — print ResMII / RecMII / MII for a loop;
-* ``suite`` — summarize the evaluation suite under a budget.
+* ``suite`` — summarize the evaluation suite under a budget;
+* ``sweep`` — regenerate the paper's evaluation artifacts through the
+  parallel cached experiment engine (one-command reproduction): suite ×
+  machines × budgets × heuristic variants, rendered tables on stdout and
+  machine-readable JSON via ``--json-out`` (deterministic for any
+  ``--jobs`` value).
 """
 
 from __future__ import annotations
@@ -197,6 +203,58 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.eval.engine import resolve_machine, run_sweep
+    from repro.workloads import (
+        RandomDDGParams,
+        perfect_club_like_suite,
+        random_suite,
+    )
+
+    try:
+        machines = [resolve_machine(spec) for spec in args.machines]
+    except ValueError as error:
+        raise SystemExit(f"repro sweep: {error}")
+    if args.suite == "club":
+        suite = perfect_club_like_suite(size=args.size, seed=args.seed)
+        suite_info = {"kind": "club", "seed": args.seed}
+    else:
+        params = RandomDDGParams(
+            ops=args.ops,
+            recurrence_density=args.recurrence_density,
+            load_mix=args.load_mix,
+            store_mix=args.store_mix,
+        )
+        try:
+            params.validate()
+        except ValueError as error:
+            raise SystemExit(f"repro sweep: {error}")
+        suite = random_suite(size=args.size, seed=args.seed, params=params)
+        suite_info = {
+            "kind": "random",
+            "seed": args.seed,
+            "ops": args.ops,
+            "recurrence_density": args.recurrence_density,
+            "load_mix": args.load_mix,
+            "store_mix": args.store_mix,
+        }
+    report = run_sweep(
+        suite=suite,
+        machines=machines,
+        budgets=tuple(args.budgets),
+        artifacts=tuple(args.artifacts),
+        jobs=args.jobs,
+        suite_info=suite_info,
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json_text())
+            handle.write("\n")
+        print(f"[json written to {args.json_out}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +304,61 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--registers", type=int, default=32)
     suite_parser.add_argument("--machine", default="P2L4")
     suite_parser.set_defaults(func=_cmd_suite)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="regenerate evaluation artifacts via the experiment engine",
+    )
+    sweep_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial; results identical either way)",
+    )
+    sweep_parser.add_argument(
+        "--json-out", metavar="PATH",
+        help="write machine-readable results (schema repro.sweep/1)",
+    )
+    sweep_parser.add_argument(
+        "--artifacts", nargs="+", metavar="NAME",
+        choices=("table1", "fig7", "fig8", "fig9"),
+        default=["table1", "fig8"],
+        help="artifacts to regenerate (default: table1 fig8)",
+    )
+    sweep_parser.add_argument(
+        "--machines", nargs="+", metavar="SPEC",
+        default=["P1L4", "P2L4", "P2L6"],
+        help="machine filter: P1L4 P2L4 P2L6 or generic:UNITS:LATENCY",
+    )
+    sweep_parser.add_argument(
+        "--budgets", nargs="+", type=int, default=[64, 32], metavar="N",
+        help="register budgets to sweep (default: 64 32)",
+    )
+    sweep_parser.add_argument(
+        "--suite", choices=("club", "random"), default="club",
+        help="loop population: the calibrated perfect-club-like suite or"
+        " the parameterized random generator",
+    )
+    sweep_parser.add_argument(
+        "--size", type=int, default=None, metavar="N",
+        help="suite size (default: REPRO_SUITE_SIZE or 160)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=1996)
+    sweep_parser.add_argument(
+        "--ops", type=int, default=12,
+        help="random suite: statement-op budget per loop",
+    )
+    sweep_parser.add_argument(
+        "--recurrence-density", type=float, default=0.15,
+        help="random suite: probability a statement closes a recurrence",
+    )
+    sweep_parser.add_argument(
+        "--load-mix", type=float, default=0.55,
+        help="random suite: probability an expression leaf is a load",
+    )
+    sweep_parser.add_argument(
+        "--store-mix", type=float, default=0.3,
+        help="random suite: probability a statement stores to memory",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -23,8 +23,8 @@ from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 from repro.machine.machine import MachineConfig
 from repro.sched.base import Effort, ModuloScheduler
+from repro.sched.cache import cached_mii, owned_schedule, schedule_memo
 from repro.sched.hrms import HRMSScheduler
-from repro.sched.mii import compute_mii
 from repro.sched.schedule import Schedule
 
 
@@ -98,7 +98,7 @@ def schedule_best_of_both(
     # paper proposes this search even though fit-vs-II is not strictly
     # monotone; it converges to *a* fitting II at worst equal to ii_spill.
     best_plain = probe
-    low, high = compute_mii(ddg, machine), ii_spill
+    low, high = cached_mii(ddg, machine), ii_spill
     while low < high:
         mid = (low + high) // 2
         candidate = _plain_attempt(ddg, machine, available, scheduler, mid, effort, exact)
@@ -117,12 +117,14 @@ def schedule_best_of_both(
         and plain_schedule.stage_count <= spill.schedule.stage_count
     )
     if plain_wins:
+        # the plain schedule may be a shared memo entry: hand out a copy
+        plain_schedule = owned_schedule(plain_schedule)
         return CombinedResult(
             converged=True,
             method="increase_ii",
             schedule=plain_schedule,
             report=plain_report,
-            ddg=ddg,
+            ddg=plain_schedule.ddg,
             spill_result=spill,
             effort=effort,
         )
@@ -148,7 +150,7 @@ def _plain_attempt(
 ) -> tuple[Schedule, RegisterReport] | None:
     """Schedule the unspilled loop at exactly *ii*; None unless it both
     schedules and fits the register file."""
-    schedule = scheduler.try_schedule_at(ddg, machine, ii)
+    schedule = schedule_memo().try_at(scheduler, ddg, machine, ii)
     if schedule is None:
         effort.attempts += 1
         return None

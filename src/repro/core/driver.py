@@ -26,6 +26,7 @@ from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 from repro.machine.machine import MachineConfig
 from repro.sched.base import Effort, ModuloScheduler, ScheduleError
+from repro.sched.cache import cached_mii, owned_schedule, schedule_memo
 from repro.sched.hrms import HRMSScheduler
 from repro.sched.schedule import Schedule
 
@@ -102,13 +103,19 @@ def schedule_with_spilling(
     last_report: RegisterReport | None = None
 
     for _ in range(max_rounds):
+        round_mii = cached_mii(work, machine)
         try:
-            schedule = scheduler.schedule(work, machine, min_ii=min_ii)
+            # The memoized search lets heuristic variants share rounds
+            # that reach the same graph (all of Figure 8's variants
+            # schedule the identical round-1 graph, for instance).
+            schedule = schedule_memo().schedule(
+                scheduler, work, machine, min_ii=min_ii
+            )
         except ScheduleError as error:
             return SpillResult(
                 converged=False,
                 reason=str(error),
-                schedule=last_schedule,
+                schedule=_owned(last_schedule),
                 report=last_report,
                 ddg=work,
                 rounds=rounds,
@@ -130,7 +137,7 @@ def schedule_with_spilling(
         rounds.append(
             SpillRound(
                 ii=schedule.ii,
-                mii=_round_mii(work, machine),
+                mii=round_mii,
                 registers=report.total,
                 max_live=report.estimate,
                 memory_ops=work.memory_node_count(),
@@ -138,12 +145,13 @@ def schedule_with_spilling(
             )
         )
         if report.fits(available):
+            schedule = _owned(schedule)
             return SpillResult(
                 converged=True,
                 reason="fits",
                 schedule=schedule,
                 report=report,
-                ddg=work,
+                ddg=schedule.ddg,
                 rounds=rounds,
                 spilled=spilled,
                 effort=effort,
@@ -153,7 +161,7 @@ def schedule_with_spilling(
             return SpillResult(
                 converged=False,
                 reason="no spillable lifetimes remain",
-                schedule=schedule,
+                schedule=_owned(schedule),
                 report=report,
                 ddg=work,
                 rounds=rounds,
@@ -161,6 +169,9 @@ def schedule_with_spilling(
                 effort=effort,
                 wall_seconds=time.perf_counter() - started,
             )
+        # Spill into a fresh copy: the graph just scheduled may now be a
+        # schedule-memo entry, and memo entries must never mutate.
+        work = work.copy()
         for candidate in candidates:
             apply_spill(
                 work,
@@ -170,11 +181,16 @@ def schedule_with_spilling(
             )
             spilled.append(candidate.lifetime.value)
         if last_ii:
-            min_ii = schedule.ii
+            # Section 4.5: restart at max(MII, previous II).  The MII is
+            # that of the *mutated* graph — the spill code's memory edges
+            # lengthen dependence cycles, so RecMII can rise above the II
+            # just scheduled.  (This also warms the MII cache for the next
+            # round's schedule call.)
+            min_ii = max(schedule.ii, cached_mii(work, machine))
     return SpillResult(
         converged=False,
         reason=f"gave up after {max_rounds} rounds",
-        schedule=last_schedule,
+        schedule=_owned(last_schedule),
         report=last_report,
         ddg=work,
         rounds=rounds,
@@ -184,7 +200,7 @@ def schedule_with_spilling(
     )
 
 
-def _round_mii(ddg: DDG, machine: MachineConfig) -> int:
-    from repro.sched.mii import compute_mii
-
-    return compute_mii(ddg, machine)
+#: Schedules out of the memoized search are shared process-wide; results
+#: must not alias them, or one caller mutating its result (its times, or
+#: its graph via further spilling) would corrupt every other caller's.
+_owned = owned_schedule

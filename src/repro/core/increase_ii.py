@@ -25,8 +25,8 @@ from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 from repro.machine.machine import MachineConfig
 from repro.sched.base import Effort, ModuloScheduler
+from repro.sched.cache import cached_mii, owned_schedule, schedule_memo
 from repro.sched.hrms import HRMSScheduler
-from repro.sched.mii import compute_mii
 from repro.sched.schedule import Schedule
 
 
@@ -76,7 +76,7 @@ def schedule_increasing_ii(
 ) -> IncreaseIIResult:
     """Figure 1a's flow: schedule, check registers, bump the II, repeat."""
     scheduler = scheduler or HRMSScheduler()
-    mii = compute_mii(ddg, machine)
+    mii = cached_mii(ddg, machine)
     if max_ii is None:
         max_ii = max(mii * 20, mii + 100)
     effort = Effort()
@@ -101,7 +101,7 @@ def schedule_increasing_ii(
     since_improvement = 0
     best_registers: int | None = None
     for ii in range(mii, max_ii + 1):
-        schedule = scheduler.try_schedule_at(ddg, machine, ii)
+        schedule = schedule_memo().try_at(scheduler, ddg, machine, ii)
         if schedule is None:
             continue
         effort.attempts += schedule.effort_attempts
@@ -114,7 +114,7 @@ def schedule_increasing_ii(
             return IncreaseIIResult(
                 converged=True,
                 reason="fits",
-                schedule=schedule,
+                schedule=owned_schedule(schedule),
                 report=report,
                 mii=mii,
                 trail=trail,
@@ -135,7 +135,7 @@ def schedule_increasing_ii(
     return IncreaseIIResult(
         converged=False,
         reason=reason,
-        schedule=best[0] if best else None,
+        schedule=owned_schedule(best[0]) if best else None,
         report=best[1] if best else None,
         mii=mii,
         trail=trail,

@@ -6,15 +6,21 @@
   the spill adds (its *cost*); the paper finds this the better heuristic
   both in execution time and in traffic.
 
-The cost model mirrors :mod:`repro.core.spill` exactly:
+The cost model mirrors :mod:`repro.core.spill` exactly — consumers at the
+same dependence distance share one reload, so loads are counted per
+*distinct distance*, not per consumer (with the rematerializable-load
+exception described in ``repro.core.spill._reload_plan``):
 
 =======================  =====================================
 situation                additional memory operations
 =======================  =====================================
-producer is a clean load one load per consumer, minus the
-                         removed original load
-some consumer stores it  one load per remaining consumer
-general loop-variant     one store + one load per consumer
+producer is a clean load one load per distinct distance (per
+                         use when there is only one distance),
+                         minus the removed original load
+some consumer stores it  one load per remaining distinct
+                         distance
+general loop-variant     one store + one load per distinct
+                         distance
 loop-invariant           one load per consumer (store pre-loop)
 =======================  =====================================
 
@@ -74,17 +80,27 @@ def spill_cost(ddg: DDG, lifetime: Lifetime) -> int:
     if producer.opcode is Opcode.LOAD and _load_is_rematerializable(
         ddg, lifetime.value
     ):
-        return len(consumers) - 1  # new loads minus the removed original
-    store_consumers = sum(
-        1
+        # One reload per distinct distance — except that a value consumed
+        # at a single distance keeps one reload per use (see
+        # ``repro.core.spill._reload_plan``); minus the removed original.
+        distances = {edge.distance for edge in consumers}
+        if len(distances) == 1:
+            return len({edge.dst for edge in consumers}) - 1
+        return len(distances) - 1
+    store_consumer_edges = [
+        edge
         for edge in consumers
         if edge.distance == 0
         and ddg.nodes[edge.dst].is_store
         and not ddg.nodes[edge.dst].is_spill
-    )
-    loads = len(consumers) - store_consumers
-    store = 0 if store_consumers else 1
-    return loads + store
+    ]
+    reload_distances = {
+        edge.distance
+        for edge in consumers
+        if edge not in store_consumer_edges
+    }
+    store = 0 if store_consumer_edges else 1
+    return len(reload_distances) + store
 
 
 def _spill_is_effective(ddg: DDG, lifetime: Lifetime) -> bool:

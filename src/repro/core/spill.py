@@ -9,7 +9,9 @@ loop-variant ``u`` with consumers ``c_k`` at distances ``d_k``:
 * add one spill store ``Ss`` just after the producer: register edge
   ``u -> Ss`` (distance 0);
 * add one spill load ``Ls_k`` before each use: register edge
-  ``Ls_k -> c_k`` (distance 0);
+  ``Ls_k -> c_k`` (distance 0).  Consumers at the same distance read the
+  same ``(home, distance)`` slot and therefore share a single reload —
+  the lifetime shrinks identically and the memory traffic is lower;
 * add memory flow edges ``Ss -> Ls_k`` carrying the *original* distances
   ``d_k`` — this moves the distance component of the lifetime into memory,
   which is why spilling can reduce pressure that increasing the II never
@@ -107,7 +109,19 @@ def _spill_variant(
         )
         added.append(store_name)
 
-    for index, edge in enumerate(sorted(spilled_edges, key=_edge_key)):
+    # Consumers at the same distance reload the same (home, distance)
+    # slot and share one spill load (see :func:`_reload_plan`); the store
+    # that truncates the producer's lifetime makes sharing profitable even
+    # when every consumer sits at one distance.
+    plan = _reload_plan(
+        name,
+        [
+            edge
+            for edge in sorted(spilled_edges, key=_edge_key)
+            if not (edge.dst in store_consumers and edge.distance == 0)
+        ],
+    )
+    for edge in sorted(spilled_edges, key=_edge_key):
         ddg.remove_edge(edge)
         if edge.dst in store_consumers and edge.distance == 0:
             # The store keeps reading the (now short) register lifetime.
@@ -123,14 +137,18 @@ def _spill_variant(
                 )
             )
             continue
-        load_name = f"Ls{index + 1}_{name}"
-        ddg.add_node(
-            Node(load_name, Opcode.SPILL_LOAD, operands=[], mem=home)
-        )
-        added.append(load_name)
-        ddg.add_edge(
-            Edge(store_name, load_name, EdgeKind.MEM, DepKind.FLOW, edge.distance)
-        )
+        load_name, fused_load = plan[(edge.dst, edge.distance)]
+        if load_name not in ddg.nodes:
+            ddg.add_node(
+                Node(load_name, Opcode.SPILL_LOAD, operands=[], mem=home)
+            )
+            added.append(load_name)
+            ddg.add_edge(
+                Edge(
+                    store_name, load_name, EdgeKind.MEM, DepKind.FLOW,
+                    edge.distance,
+                )
+            )
         ddg.add_edge(
             Edge(
                 load_name,
@@ -139,10 +157,10 @@ def _spill_variant(
                 DepKind.FLOW,
                 0,
                 spillable=not mark,
-                fused=fuse,
+                fused=fuse and fused_load,
             )
         )
-        _rename_operand(ddg.nodes[edge.dst], name, edge.distance, load_name)
+        _rename_operand(ddg, edge.dst, name, edge.distance, load_name)
 
     if not store_consumers:
         ddg.add_edge(
@@ -166,15 +184,25 @@ def _spill_loaded_value(
     name = lifetime.value
     original_ref = ddg.nodes[name].mem
     added: list[str] = []
-    for index, edge in enumerate(sorted(ddg.reg_out_edges(name), key=_edge_key)):
-        load_name = f"Ls{index + 1}_{name}"
-        ref = original_ref
-        if isinstance(original_ref, ArrayRef) and edge.distance:
-            # A consumer at distance d reads the element loaded d
-            # iterations ago: shift the address back by d.
-            ref = ArrayRef(original_ref.array, original_ref.offset - edge.distance)
-        ddg.add_node(Node(load_name, Opcode.SPILL_LOAD, operands=[], mem=ref))
-        added.append(load_name)
+    # One reload per distinct distance (= per distinct address): consumers
+    # reading the same element share it.  See the matching comment in
+    # :func:`_spill_variant` for the fusing rule.
+    spilled_edges = sorted(ddg.reg_out_edges(name), key=_edge_key)
+    plan = _reload_plan(name, spilled_edges, share_single_group=False)
+    for edge in spilled_edges:
+        load_name, _fused = plan[(edge.dst, edge.distance)]
+        if load_name not in ddg.nodes:
+            ref = original_ref
+            if isinstance(original_ref, ArrayRef) and edge.distance:
+                # A consumer at distance d reads the element loaded d
+                # iterations ago: shift the address back by d.
+                ref = ArrayRef(
+                    original_ref.array, original_ref.offset - edge.distance
+                )
+            ddg.add_node(
+                Node(load_name, Opcode.SPILL_LOAD, operands=[], mem=ref)
+            )
+            added.append(load_name)
         ddg.remove_edge(edge)
         ddg.add_edge(
             Edge(
@@ -184,10 +212,10 @@ def _spill_loaded_value(
                 DepKind.FLOW,
                 0,
                 spillable=not mark,
-                fused=fuse,
+                fused=fuse and _fused,
             )
         )
-        _rename_operand(ddg.nodes[edge.dst], name, edge.distance, load_name)
+        _rename_operand(ddg, edge.dst, name, edge.distance, load_name)
     ddg.remove_node(name)
     return added
 
@@ -214,12 +242,53 @@ def _spill_invariant(
                 fused=fuse,
             )
         )
-        _rename_operand(ddg.nodes[consumer], invariant.name, 0, load_name)
-    del ddg.invariants[invariant.name]
+        _rename_operand(ddg, consumer, invariant.name, 0, load_name)
+    ddg.remove_invariant(invariant.name)
     return added
 
 
 # ----------------------------------------------------------------------
+def _reload_plan(
+    name: str, edges: list[Edge], share_single_group: bool = True
+) -> dict[tuple[str, int], tuple[str, bool]]:
+    """Reload assignment for the consumer *edges* of a spilled value:
+    ``(consumer, distance)`` → ``(reload name, fused?)``.
+
+    Consumers at the same distance read the same ``(home, distance)`` slot
+    and share one reload.  A reload serving a single consumer is fused as
+    the paper requires; a shared one is left unfused (fusing it to one
+    consumer traps the others in zero-slack windows the non-backtracking
+    schedulers cannot escape) but stays non-spillable either way.
+
+    With ``share_single_group=False``, a value whose consumers all sit at
+    *one* distance keeps the paper's reload-per-use instead: sharing
+    there would recreate the spilled lifetime unchanged (one producer,
+    same consumers), freeing no registers.  The rematerializable-load
+    path needs this — its reload has no store to truncate the producer's
+    lifetime against.
+    """
+    groups: dict[int, list[str]] = {}
+    for edge in edges:
+        consumers = groups.setdefault(edge.distance, [])
+        if edge.dst not in consumers:
+            consumers.append(edge.dst)
+    plan: dict[tuple[str, int], tuple[str, bool]] = {}
+    split_single = not share_single_group and len(groups) == 1
+    counter = 0
+    for distance in sorted(groups):
+        consumers = groups[distance]
+        if len(consumers) == 1 or split_single:
+            for consumer in sorted(consumers):
+                counter += 1
+                plan[(consumer, distance)] = (f"Ls{counter}_{name}", True)
+        else:
+            counter += 1
+            shared_name = f"Ls{counter}_{name}"
+            for consumer in consumers:
+                plan[(consumer, distance)] = (shared_name, False)
+    return plan
+
+
 def _load_is_rematerializable(ddg: DDG, name: str) -> bool:
     """The producer-is-load optimization is only safe when the loaded
     location is never written in the loop (no memory dependences touch the
@@ -237,7 +306,13 @@ def _edge_key(edge: Edge) -> tuple:
     return (edge.distance, edge.dst)
 
 
-def _rename_operand(node: Node, old: str, distance: int, new: str) -> None:
+def _rename_operand(
+    ddg: DDG, consumer: str, old: str, distance: int, new: str
+) -> None:
+    node = ddg.nodes[consumer]
     target = f"{old}@{distance}" if distance else old
     node.operands = [new if operand == target else operand
                      for operand in node.operands]
+    # operands are fingerprinted content: keep the revision honest even
+    # though every caller also rewires edges in the same transformation
+    ddg.revision += 1

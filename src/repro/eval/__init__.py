@@ -21,20 +21,42 @@ from repro.eval.experiments import (
     run_table1,
 )
 from repro.eval.reporting import format_table
+from repro.eval.engine import (
+    Cell,
+    CellResult,
+    EngineRun,
+    SweepReport,
+    evaluate_cell,
+    machine_spec,
+    resolve_machine,
+    run_cells,
+    run_sweep,
+    workload_cells,
+)
 
 __all__ = [
+    "Cell",
+    "CellResult",
+    "EngineRun",
     "Fig4Result",
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "LoopOutcome",
+    "SweepReport",
     "Table1Result",
+    "evaluate_cell",
     "executed_cycles",
     "format_table",
+    "machine_spec",
     "memory_traffic",
+    "resolve_machine",
+    "run_cells",
     "run_fig4",
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_sweep",
     "run_table1",
+    "workload_cells",
 ]

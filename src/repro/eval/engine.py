@@ -1,0 +1,663 @@
+"""Parallel, cached experiment engine.
+
+The paper's evaluation is a grid: every artifact (Table 1, Figures 7-9,
+the ablations) is a sum over independent ``(workload, machine, budget,
+variant)`` **cells**.  This module makes that structure explicit:
+
+* :class:`Cell` — one unit of work, fully described by picklable scalars
+  (the loop *source*, a machine spec string, a scheduler name and an
+  options tuple), so cells can cross process boundaries;
+* :func:`run_cells` — evaluates a batch, either serially (``jobs=1``) or
+  fanned out over a ``ProcessPoolExecutor``.  Results come back in a
+  deterministic order and contain only deterministic data (wall-clock
+  time and cache accounting ride along separately), so the output is
+  byte-identical for any job count;
+* per-process memoization — every worker shares one
+  :mod:`repro.sched.cache`: the ideal (infinite-register) schedule of a
+  loop is computed once per ``(graph, machine, scheduler)`` however many
+  budgets/variants/artifacts ask for it, and the spilling driver's
+  per-round MII lookups hit the fingerprint cache;
+* :func:`run_sweep` — the ``repro sweep`` entry point: builds the cells
+  for the requested artifacts, runs them, aggregates the paper-style
+  result objects and a machine-readable JSON document
+  (``schema: repro.sweep/1``).
+
+Cell kinds and their ``data`` payloads:
+
+=========  ============================================================
+kind       payload
+=========  ============================================================
+ideal      ii, stage_count, registers, cycles, traffic
+table1     ideal_cycles, ideal_registers, needs_reduction, failed
+fig7       rows: [spilled, ii, mii, registers, bus_pct]
+fig8       ideal_cycles, ideal_traffic, cycles, traffic, attempts,
+           placements, failed, spilled
+fig9       included, ideal/inc/spill/best cycles
+spill      converged, ii, reschedules, registers, memory_ops, spilled
+=========  ============================================================
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.combined import schedule_best_of_both
+from repro.core.driver import schedule_with_spilling
+from repro.core.increase_ii import schedule_increasing_ii
+from repro.core.select import SelectionPolicy
+from repro.eval.metrics import executed_cycles, memory_traffic
+from repro.graph.builder import ddg_from_source
+from repro.graph.ddg import DDG
+from repro.lifetimes.requirements import register_requirements
+from repro.machine.machine import (
+    MachineConfig,
+    generic_machine,
+    p1l4,
+    p2l4,
+    p2l6,
+)
+from repro.sched.base import ModuloScheduler
+from repro.sched.cache import STATS, CacheStats, schedule_memo
+from repro.sched.hrms import HRMSScheduler
+from repro.sched.ims import IMSScheduler
+from repro.sched.schedule import Schedule
+from repro.sched.swing import SwingScheduler
+from repro.workloads.suite import Workload
+
+JSON_SCHEMA = "repro.sweep/1"
+
+_SCHEDULERS: dict[str, type[ModuloScheduler]] = {
+    cls.name: cls for cls in (HRMSScheduler, IMSScheduler, SwingScheduler)
+}
+
+_PAPER_MACHINES = {"P1L4": p1l4, "P2L4": p2l4, "P2L6": p2l6}
+_GENERIC_NAME = re.compile(r"^G(\d+)L(\d+)$")
+
+
+# ----------------------------------------------------------------------
+# machine / scheduler specs (picklable cell fields)
+def machine_spec(machine: MachineConfig) -> str:
+    """Serialize a machine to a spec string a worker can resolve."""
+    if machine.name in _PAPER_MACHINES:
+        return machine.name
+    if machine.generic:
+        from repro.ir.operations import FuClass, Opcode
+
+        units = machine.fu_counts.get(FuClass.GENERIC, 0)
+        return f"generic:{units}:{machine.latency(Opcode.ADD)}"
+    raise ValueError(
+        f"machine {machine.name!r} has no spec; use the paper"
+        " configurations or generic machines"
+    )
+
+
+def resolve_machine(spec: str) -> MachineConfig:
+    """Inverse of :func:`machine_spec`; also accepts ``G4L2`` names."""
+    if spec.upper() in _PAPER_MACHINES:
+        return _PAPER_MACHINES[spec.upper()]()
+    named = _GENERIC_NAME.match(spec)
+    if named:
+        return generic_machine(int(named.group(1)), int(named.group(2)))
+    if spec.lower().startswith("generic"):
+        parts = spec.split(":")
+        units = int(parts[1]) if len(parts) > 1 else 4
+        latency = int(parts[2]) if len(parts) > 2 else 2
+        return generic_machine(units, latency)
+    raise ValueError(f"unknown machine spec {spec!r}")
+
+
+def scheduler_name(scheduler: ModuloScheduler | None) -> str:
+    from repro.sched.cache import scheduler_config
+
+    scheduler = scheduler or HRMSScheduler()
+    name = scheduler.name
+    if name not in _SCHEDULERS:
+        raise ValueError(
+            f"scheduler {name!r} cannot run in engine workers; known:"
+            f" {sorted(_SCHEDULERS)}"
+        )
+    config = scheduler_config(scheduler)
+    if config != scheduler_config(_SCHEDULERS[name]()):
+        # cells carry only the name; a worker would silently rebuild the
+        # default configuration, diverging from the caller's intent
+        raise ValueError(
+            f"scheduler {name!r} has non-default configuration"
+            f" ({config}); engine cells only support"
+            " default-constructed schedulers"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One independent experiment: a loop on a machine under a budget."""
+
+    kind: str
+    workload: str
+    source: str
+    weight: int
+    machine: str
+    budget: int = 0
+    variant: str = ""
+    scheduler: str = "HRMS"
+    options: tuple[tuple[str, object], ...] = ()
+
+    def sort_key(self) -> tuple:
+        return (
+            self.kind, self.machine, self.budget, self.variant,
+            self.workload, self.scheduler,
+        )
+
+    def option(self, name: str, default=None):
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def spill_options(self) -> dict:
+        """The ``schedule_with_spilling`` keyword arguments carried by
+        this cell's options tuple; unknown keys are an error (silently
+        dropping one would change the run's semantics)."""
+        result = {}
+        for key, value in self.options:
+            if key == "policy":
+                result["policy"] = SelectionPolicy(value)
+            elif key in ("multiple", "last_ii", "fuse",
+                         "mark_non_spillable", "exact"):
+                result[key] = bool(value)
+            elif key == "max_rounds":
+                result["max_rounds"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown spill option {key!r} on cell"
+                    f" {self.workload}/{self.variant or self.kind}"
+                )
+        return result
+
+
+@dataclass
+class CellResult:
+    """Deterministic payload plus per-cell telemetry (kept out of any
+    byte-compared output)."""
+
+    cell: Cell
+    data: dict
+    seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def as_json(self) -> dict:
+        return {
+            "kind": self.cell.kind,
+            "workload": self.cell.workload,
+            "machine": self.cell.machine,
+            "budget": self.cell.budget,
+            "variant": self.cell.variant,
+            "scheduler": self.cell.scheduler,
+            "weight": self.cell.weight,
+            "data": self.data,
+        }
+
+
+# ----------------------------------------------------------------------
+# per-process state (each pool worker builds its own)
+_DDG_CACHE: dict[tuple[str, str], DDG] = {}
+
+
+def _cell_ddg(cell: Cell) -> DDG:
+    key = (cell.workload, cell.source)
+    ddg = _DDG_CACHE.get(key)
+    if ddg is None:
+        if len(_DDG_CACHE) >= 512:
+            _DDG_CACHE.pop(next(iter(_DDG_CACHE)))
+        ddg = ddg_from_source(cell.source, name=cell.workload)
+        _DDG_CACHE[key] = ddg
+    return ddg
+
+
+def _ideal_outcome(
+    ddg: DDG, machine: MachineConfig, scheduler: ModuloScheduler
+) -> tuple[Schedule, int]:
+    """Infinite-register schedule + register demand.  Both legs are
+    memoized: the schedule in the process-wide memo, the register report
+    on the schedule instance itself."""
+    schedule = schedule_memo().schedule(scheduler, ddg, machine)
+    return schedule, register_requirements(schedule).total
+
+
+# ----------------------------------------------------------------------
+# cell evaluation
+def evaluate_cell(cell: Cell) -> CellResult:
+    """Evaluate one cell (runs inside a worker process)."""
+    before = STATS.snapshot()
+    started = time.perf_counter()
+    data = _EVALUATORS[cell.kind](cell)
+    return CellResult(
+        cell=cell,
+        data=data,
+        seconds=time.perf_counter() - started,
+        cache=STATS.delta(before),
+    )
+
+
+def _eval_ideal(cell: Cell) -> dict:
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    return {
+        "ii": schedule.ii,
+        "stage_count": schedule.stage_count,
+        "registers": registers,
+        "cycles": executed_cycles(schedule, cell.weight),
+        "traffic": memory_traffic(ddg, cell.weight),
+    }
+
+
+def _eval_table1(cell: Cell) -> dict:
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    data = {
+        "ideal_cycles": executed_cycles(schedule, cell.weight),
+        "ideal_registers": registers,
+        "needs_reduction": registers > cell.budget,
+        "failed": False,
+    }
+    if data["needs_reduction"]:
+        outcome = schedule_increasing_ii(
+            ddg,
+            machine,
+            cell.budget,
+            scheduler=scheduler,
+            patience=int(cell.option("patience", 10)),
+        )
+        data["failed"] = not outcome.converged
+    return data
+
+
+def _eval_fig7(cell: Cell) -> dict:
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    run = schedule_with_spilling(
+        ddg,
+        machine,
+        cell.budget,
+        scheduler=scheduler,
+        policy=SelectionPolicy(cell.option("policy", "max_lt")),
+        multiple=False,
+        last_ii=False,
+    )
+    buses = machine.memory_units()
+    rows = []
+    spilled_so_far = 0
+    for entry in run.rounds:
+        bus = 100.0 * entry.memory_ops / (buses * entry.ii)
+        rows.append(
+            [spilled_so_far, entry.ii, entry.mii, entry.registers, bus]
+        )
+        spilled_so_far += len(entry.spilled_values)
+    return {"rows": rows, "converged": run.converged}
+
+
+def _eval_fig8(cell: Cell) -> dict:
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    ideal_cycles = executed_cycles(schedule, cell.weight)
+    ideal_traffic = memory_traffic(ddg, cell.weight)
+    data = {
+        "ideal_cycles": ideal_cycles,
+        "ideal_traffic": ideal_traffic,
+        "ideal_registers": registers,
+        "cycles": ideal_cycles,
+        "traffic": ideal_traffic,
+        "attempts": 0,
+        "placements": 0,
+        "failed": 0,
+        "spilled": 0,
+    }
+    if registers <= cell.budget:
+        return data
+    run = schedule_with_spilling(
+        ddg, machine, cell.budget, scheduler=scheduler,
+        **cell.spill_options(),
+    )
+    final = run.schedule if run.schedule is not None else schedule
+    final_ddg = run.ddg if run.ddg is not None else ddg
+    data.update(
+        cycles=executed_cycles(final, cell.weight),
+        traffic=memory_traffic(final_ddg, cell.weight),
+        attempts=run.effort.attempts,
+        placements=run.effort.placements,
+        failed=0 if run.converged else 1,
+        spilled=len(run.spilled),
+    )
+    return data
+
+
+def _eval_fig9(cell: Cell) -> dict:
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    data = {
+        "included": False,
+        "ideal_cycles": 0,
+        "inc_cycles": 0,
+        "spill_cycles": 0,
+        "best_cycles": 0,
+    }
+    if registers <= cell.budget:
+        return data
+    inc = schedule_increasing_ii(
+        ddg, machine, cell.budget, scheduler=scheduler
+    )
+    if not inc.converged:
+        return data  # the paper's comparison excludes these
+    spill = schedule_with_spilling(
+        ddg, machine, cell.budget, scheduler=scheduler
+    )
+    best = schedule_best_of_both(
+        ddg, machine, cell.budget, scheduler=scheduler
+    )
+    spill_schedule = spill.schedule or inc.schedule
+    best_schedule = best.schedule or spill_schedule
+    data.update(
+        included=True,
+        ideal_cycles=executed_cycles(schedule, cell.weight),
+        inc_cycles=executed_cycles(inc.schedule, cell.weight),
+        spill_cycles=executed_cycles(spill_schedule, cell.weight),
+        best_cycles=executed_cycles(best_schedule, cell.weight),
+    )
+    return data
+
+
+def _eval_spill(cell: Cell) -> dict:
+    """Generic spilling-driver cell (ablation benchmarks)."""
+    ddg = _cell_ddg(cell)
+    machine = resolve_machine(cell.machine)
+    scheduler = _SCHEDULERS[cell.scheduler]()
+    run = schedule_with_spilling(
+        ddg, machine, cell.budget, scheduler=scheduler,
+        **cell.spill_options(),
+    )
+    registers = (
+        register_requirements(run.schedule).total
+        if run.schedule is not None
+        else None
+    )
+    valid = run.schedule is not None
+    if valid:
+        try:
+            run.schedule.validate()
+            run.ddg.validate()
+        except AssertionError:
+            valid = False
+    return {
+        "converged": run.converged,
+        "ii": run.final_ii,
+        "reschedules": run.reschedules,
+        "registers": registers,
+        "memory_ops": run.memory_ops,
+        "spilled": len(run.spilled),
+        "attempts": run.effort.attempts,
+        "placements": run.effort.placements,
+        "valid": valid,
+    }
+
+
+_EVALUATORS = {
+    "ideal": _eval_ideal,
+    "table1": _eval_table1,
+    "fig7": _eval_fig7,
+    "fig8": _eval_fig8,
+    "fig9": _eval_fig9,
+    "spill": _eval_spill,
+}
+
+
+# ----------------------------------------------------------------------
+# execution
+@dataclass
+class EngineRun:
+    """A batch of evaluated cells plus aggregate telemetry."""
+
+    results: list[CellResult]
+    jobs: int
+    seconds: float
+    cache: CacheStats
+
+    def by_kind(self, kind: str) -> list[CellResult]:
+        return [r for r in self.results if r.cell.kind == kind]
+
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _worker_pool(jobs: int) -> ProcessPoolExecutor:
+    """A persistent pool, reused across batches of the same width so the
+    workers' caches stay warm for a whole sweep (one artifact's ideal
+    pass serves the next's)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE != jobs:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_SIZE = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (harmless if none exists)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def run_cells(cells: list[Cell], jobs: int = 1) -> EngineRun:
+    """Evaluate *cells*; results are sorted by cell key, so the outcome
+    is identical whatever *jobs* is."""
+    from repro.sched.cache import caching_enabled
+
+    ordered = sorted(cells, key=Cell.sort_key)
+    started = time.perf_counter()
+    # cache.disabled() is process-local: worker processes would cache
+    # anyway (or inherit a frozen flag at fork time), so honour it by
+    # evaluating serially in this process.
+    if jobs <= 1 or len(ordered) <= 1 or not caching_enabled():
+        results = [evaluate_cell(cell) for cell in ordered]
+    else:
+        chunk = max(1, len(ordered) // (jobs * 4))
+        results = list(
+            _worker_pool(jobs).map(evaluate_cell, ordered, chunksize=chunk)
+        )
+    cache = CacheStats()
+    for result in results:
+        cache.add(result.cache)
+    return EngineRun(
+        results=results,
+        jobs=jobs,
+        seconds=time.perf_counter() - started,
+        cache=cache,
+    )
+
+
+def workload_cells(
+    kind: str,
+    suite: list[Workload],
+    machine: MachineConfig,
+    budget: int = 0,
+    variant: str = "",
+    scheduler: ModuloScheduler | None = None,
+    options: dict | None = None,
+) -> list[Cell]:
+    """Cells of *kind* for every workload of *suite* on one machine."""
+    spec = machine_spec(machine)
+    name = scheduler_name(scheduler)
+    packed = tuple(sorted((options or {}).items()))
+    return [
+        Cell(
+            kind=kind,
+            workload=workload.name,
+            source=workload.source,
+            weight=workload.weight,
+            machine=spec,
+            budget=budget,
+            variant=variant,
+            scheduler=name,
+            options=packed,
+        )
+        for workload in suite
+    ]
+
+
+def pack_options(options: dict) -> dict:
+    """Normalize driver options into picklable/JSON-able scalars."""
+    packed = {}
+    for key, value in options.items():
+        packed[key] = value.value if isinstance(value, SelectionPolicy) else value
+    return packed
+
+
+# ----------------------------------------------------------------------
+# sweep — the one-command reproduction entry point
+@dataclass
+class SweepReport:
+    """Everything one ``repro sweep`` produced."""
+
+    suite_info: dict
+    artifacts: dict  # name -> result object with .render()
+    run: EngineRun
+    jobs: int
+
+    def render(self) -> str:
+        blocks = [self.artifacts[name].render() for name in sorted(self.artifacts)]
+        blocks.append(self.summary())
+        return "\n\n".join(blocks)
+
+    def summary(self) -> str:
+        cache = self.run.cache
+        return (
+            f"sweep: {len(self.run.results)} cells, jobs={self.jobs},"
+            f" {self.run.seconds:.2f}s wall;"
+            f" cache hits/misses: schedule {cache.schedule_hits}"
+            f"/{cache.schedule_misses}, MII {cache.mii_hits}"
+            f"/{cache.mii_misses}"
+        )
+
+    def to_json(self) -> dict:
+        """Machine-readable results: deterministic for any job count
+        (no wall-clock, no cache telemetry)."""
+        artifacts = {}
+        for name, result in self.artifacts.items():
+            artifacts[name] = _artifact_json(name, result)
+        return {
+            "schema": JSON_SCHEMA,
+            "suite": self.suite_info,
+            "artifacts": artifacts,
+            "cells": [
+                result.as_json()
+                for result in sorted(
+                    self.run.results, key=lambda r: r.cell.sort_key()
+                )
+            ],
+        }
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _artifact_json(name: str, result) -> dict:
+    if name == "table1":
+        return {"rows": [list(row) for row in result.rows]}
+    if name == "fig7":
+        return {"machine": result.machine, "rounds": result.rounds}
+    if name == "fig8":
+        rows = []
+        for row in result.rows:
+            trimmed = dict(row)
+            trimmed.pop("seconds", None)  # wall-clock is not comparable
+            rows.append(trimmed)
+        return {"rows": rows}
+    if name == "fig9":
+        return {"rows": [list(row) for row in result.rows]}
+    raise ValueError(f"unknown artifact {name!r}")
+
+
+def run_sweep(
+    suite: list[Workload] | None = None,
+    machines: list[MachineConfig] | None = None,
+    budgets: tuple[int, ...] = (64, 32),
+    artifacts: tuple[str, ...] = ("table1", "fig8"),
+    jobs: int = 1,
+    scheduler: ModuloScheduler | None = None,
+    suite_info: dict | None = None,
+) -> SweepReport:
+    """Regenerate the requested paper artifacts in one engine pass."""
+    from repro.eval import experiments
+    from repro.machine.machine import paper_configurations
+    from repro.workloads.suite import perfect_club_like_suite
+
+    suite = suite if suite is not None else perfect_club_like_suite()
+    machines = machines if machines is not None else paper_configurations()
+    runners = {
+        "table1": lambda: experiments.run_table1(
+            suite, machines, budgets, scheduler=scheduler, jobs=jobs
+        ),
+        # fig7 is a single-machine trajectory: it follows the first
+        # machine filter and its own register target, not the sweep
+        # budgets.
+        "fig7": lambda: experiments.run_fig7(
+            machine=machines[0], scheduler=scheduler, jobs=jobs
+        ),
+        "fig8": lambda: experiments.run_fig8(
+            suite, machines, budgets, scheduler=scheduler, jobs=jobs
+        ),
+        "fig9": lambda: experiments.run_fig9(
+            suite, machines, budgets, scheduler=scheduler, jobs=jobs
+        ),
+    }
+    unknown = set(artifacts) - set(runners)
+    if unknown:
+        raise ValueError(f"unknown artifacts: {sorted(unknown)}")
+
+    started = time.perf_counter()
+    produced = {}
+    results: list[CellResult] = []
+    cache = CacheStats()
+    for name in artifacts:
+        produced[name] = runners[name]()
+        run = produced[name].engine_run
+        results.extend(run.results)
+        cache.add(run.cache)
+    engine_run = EngineRun(
+        results=results,
+        jobs=jobs,
+        seconds=time.perf_counter() - started,
+        cache=cache,
+    )
+    info = dict(suite_info or {})
+    info.setdefault("size", len(suite))
+    info["machines"] = [machine_spec(m) for m in machines]
+    info["budgets"] = list(budgets)
+    info["artifacts"] = sorted(artifacts)
+    return SweepReport(
+        suite_info=info,
+        artifacts=produced,
+        run=engine_run,
+        jobs=jobs,
+    )

@@ -4,25 +4,30 @@ Each ``run_*`` function regenerates one artifact of the paper's evaluation
 on the reproduction suite and returns a result object whose ``render()``
 prints the same rows/series the paper reports.  DESIGN.md carries the
 experiment index mapping these drivers to the paper's tables and figures.
+
+Since the engine rewrite, every driver expresses its artifact as a batch
+of independent :class:`repro.eval.engine.Cell` objects and aggregates the
+evaluated results: pass ``jobs=N`` to fan the cells out over worker
+processes.  Results are identical for any job count; each result object
+keeps its :class:`~repro.eval.engine.EngineRun` (timings and cache
+accounting) in ``engine_run``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.core.combined import schedule_best_of_both
-from repro.core.driver import SpillResult, schedule_with_spilling
-from repro.core.increase_ii import schedule_increasing_ii
 from repro.core.select import SelectionPolicy
-from repro.eval.metrics import LoopOutcome, executed_cycles, memory_traffic
 from repro.eval.reporting import format_table
-from repro.lifetimes.requirements import register_requirements
 from repro.machine.machine import MachineConfig, paper_configurations
 from repro.sched.base import ModuloScheduler
 from repro.sched.hrms import HRMSScheduler
-from repro.sched.schedule import Schedule
-from repro.workloads.apsi import apsi47_like, apsi50_like
+from repro.workloads.apsi import (
+    apsi47_like,
+    apsi47_source,
+    apsi50_like,
+    apsi50_source,
+)
 from repro.workloads.suite import Workload, perfect_club_like_suite
 
 #: Figure 8's heuristic variants, in the paper's order.
@@ -36,18 +41,6 @@ FIG8_VARIANTS: list[tuple[str, dict]] = [
 DEFAULT_BUDGETS = (64, 32)
 
 
-def _ideal_outcomes(
-    suite: list[Workload], machine: MachineConfig, scheduler: ModuloScheduler
-) -> dict[str, tuple[Schedule, int]]:
-    """Plain (infinite-register) schedule and register demand per loop."""
-    outcomes = {}
-    for workload in suite:
-        schedule = scheduler.schedule(workload.ddg, machine)
-        report = register_requirements(schedule)
-        outcomes[workload.name] = (schedule, report.total)
-    return outcomes
-
-
 # ======================================================================
 # Table 1 — loops that never converge under II increase
 @dataclass
@@ -58,6 +51,7 @@ class Table1Result:
     suite_size: int
     rows: list[tuple[str, int, int, float]] = field(default_factory=list)
     # (config, budget, never_converge_count, weighted cycle share %)
+    engine_run: object | None = field(default=None, repr=False)
 
     def render(self) -> str:
         return format_table(
@@ -76,34 +70,41 @@ def run_table1(
     budgets: tuple[int, ...] = DEFAULT_BUDGETS,
     scheduler: ModuloScheduler | None = None,
     patience: int = 10,
+    jobs: int = 1,
 ) -> Table1Result:
+    from repro.eval.engine import machine_spec, run_cells, workload_cells
+
     suite = suite if suite is not None else perfect_club_like_suite()
     machines = machines if machines is not None else paper_configurations()
-    scheduler = scheduler or HRMSScheduler()
-    result = Table1Result(suite_size=len(suite))
+    cells = []
     for machine in machines:
-        ideal = _ideal_outcomes(suite, machine, scheduler)
+        for budget in budgets:
+            cells.extend(
+                workload_cells(
+                    "table1", suite, machine, budget=budget,
+                    scheduler=scheduler, options={"patience": patience},
+                )
+            )
+    run = run_cells(cells, jobs=jobs)
+    data = {
+        (r.cell.machine, r.cell.budget, r.cell.workload): r.data
+        for r in run.results
+    }
+    result = Table1Result(suite_size=len(suite), engine_run=run)
+    for machine in machines:
+        spec = machine_spec(machine)
         total_cycles = sum(
-            executed_cycles(ideal[w.name][0], w.weight) for w in suite
+            data[(spec, budgets[0], w.name)]["ideal_cycles"] for w in suite
         )
         for budget in budgets:
-            failed_cycles = 0
-            failed_count = 0
-            for workload in suite:
-                schedule, registers = ideal[workload.name]
-                if registers <= budget:
-                    continue
-                outcome = schedule_increasing_ii(
-                    workload.ddg,
-                    machine,
-                    budget,
-                    scheduler=scheduler,
-                    patience=patience,
-                )
-                if not outcome.converged:
-                    failed_count += 1
-                    failed_cycles += executed_cycles(schedule, workload.weight)
-            share = 100.0 * failed_cycles / total_cycles if total_cycles else 0.0
+            rows = [data[(spec, budget, w.name)] for w in suite]
+            failed_count = sum(row["failed"] for row in rows)
+            failed_cycles = sum(
+                row["ideal_cycles"] for row in rows if row["failed"]
+            )
+            share = (
+                100.0 * failed_cycles / total_cycles if total_cycles else 0.0
+            )
             result.rows.append((machine.name, budget, failed_count, share))
     return result
 
@@ -142,6 +143,8 @@ def run_fig4(
     scheduler: ModuloScheduler | None = None,
     max_ii: int = 120,
 ) -> Fig4Result:
+    from repro.core.increase_ii import schedule_increasing_ii
+
     machine = machine or paper_configurations()[1]  # P2L4
     scheduler = scheduler or HRMSScheduler()
     result = Fig4Result()
@@ -174,6 +177,7 @@ class Fig7Result:
         default_factory=dict
     )
     # loop -> [(n_spilled, II, MII, registers, bus %)]
+    engine_run: object | None = field(default=None, repr=False)
 
     def render(self) -> str:
         blocks = []
@@ -195,30 +199,38 @@ def run_fig7(
     machine: MachineConfig | None = None,
     target_registers: int = 12,
     scheduler: ModuloScheduler | None = None,
+    jobs: int = 1,
 ) -> Fig7Result:
+    from repro.eval.engine import (
+        Cell,
+        machine_spec,
+        run_cells,
+        scheduler_name,
+    )
+
     machine = machine or paper_configurations()[1]  # P2L4
-    scheduler = scheduler or HRMSScheduler()
-    result = Fig7Result(machine=machine.name)
-    buses = machine.memory_units()
-    for ddg in (apsi47_like(), apsi50_like()):
-        run = schedule_with_spilling(
-            ddg,
-            machine,
-            target_registers,
-            scheduler=scheduler,
-            policy=SelectionPolicy.MAX_LT,
-            multiple=False,
-            last_ii=False,
+    cells = [
+        Cell(
+            kind="fig7",
+            workload=name,
+            source=source,
+            weight=1,
+            machine=machine_spec(machine),
+            budget=target_registers,
+            scheduler=scheduler_name(scheduler),
+            options=(("policy", SelectionPolicy.MAX_LT.value),),
         )
-        rows = []
-        spilled_so_far = 0
-        for entry in run.rounds:
-            bus = 100.0 * entry.memory_ops / (buses * entry.ii)
-            rows.append(
-                (spilled_so_far, entry.ii, entry.mii, entry.registers, bus)
-            )
-            spilled_so_far += len(entry.spilled_values)
-        result.rounds[ddg.name] = rows
+        for name, source in (
+            ("apsi47_like", apsi47_source()),
+            ("apsi50_like", apsi50_source()),
+        )
+    ]
+    run = run_cells(cells, jobs=jobs)
+    result = Fig7Result(machine=machine.name, engine_run=run)
+    for cell_result in run.results:
+        result.rounds[cell_result.cell.workload] = [
+            tuple(row) for row in cell_result.data["rows"]
+        ]
     return result
 
 
@@ -228,6 +240,7 @@ def run_fig7(
 class Fig8Result:
     suite_size: int
     rows: list[dict] = field(default_factory=list)
+    engine_run: object | None = field(default=None, repr=False)
 
     def render(self) -> str:
         headers = [
@@ -259,21 +272,54 @@ def run_fig8(
     budgets: tuple[int, ...] = DEFAULT_BUDGETS,
     variants: list[tuple[str, dict]] | None = None,
     scheduler: ModuloScheduler | None = None,
+    jobs: int = 1,
 ) -> Fig8Result:
+    from repro.eval.engine import (
+        machine_spec,
+        pack_options,
+        run_cells,
+        workload_cells,
+    )
+
     suite = suite if suite is not None else perfect_club_like_suite()
     machines = machines if machines is not None else paper_configurations()
     variants = variants if variants is not None else FIG8_VARIANTS
-    scheduler = scheduler or HRMSScheduler()
-    result = Fig8Result(suite_size=len(suite))
+    cells = []
     for machine in machines:
-        ideal = _ideal_outcomes(suite, machine, scheduler)
+        if not variants:
+            # baseline-only call: the ideal rows need their own cells
+            cells.extend(
+                workload_cells("ideal", suite, machine, scheduler=scheduler)
+            )
         for budget in budgets:
-            ideal_cycles = sum(
-                executed_cycles(ideal[w.name][0], w.weight) for w in suite
-            )
-            ideal_traffic = sum(
-                memory_traffic(w.ddg, w.weight) for w in suite
-            )
+            for label, options in variants:
+                cells.extend(
+                    workload_cells(
+                        "fig8", suite, machine, budget=budget,
+                        variant=label, scheduler=scheduler,
+                        options=pack_options(options),
+                    )
+                )
+    run = run_cells(cells, jobs=jobs)
+    index = {
+        (r.cell.machine, r.cell.budget, r.cell.variant, r.cell.workload): r
+        for r in run.results
+    }
+    result = Fig8Result(suite_size=len(suite), engine_run=run)
+    for machine in machines:
+        spec = machine_spec(machine)
+        for budget in budgets:
+            if variants:
+                ideal_rows = [
+                    index[(spec, budget, variants[0][0], w.name)]
+                    for w in suite
+                ]
+                ideal_cycles = sum(r.data["ideal_cycles"] for r in ideal_rows)
+                ideal_traffic = sum(r.data["ideal_traffic"] for r in ideal_rows)
+            else:
+                ideal_rows = [index[(spec, 0, "", w.name)] for w in suite]
+                ideal_cycles = sum(r.data["cycles"] for r in ideal_rows)
+                ideal_traffic = sum(r.data["traffic"] for r in ideal_rows)
             result.rows.append(
                 dict(
                     config=machine.name,
@@ -287,50 +333,22 @@ def run_fig8(
                     failed=0,
                 )
             )
-            for label, options in variants:
-                row = _run_fig8_variant(
-                    suite, machine, budget, scheduler, ideal, options
+            for label, _ in variants:
+                rows = [index[(spec, budget, label, w.name)] for w in suite]
+                result.rows.append(
+                    dict(
+                        config=machine.name,
+                        budget=budget,
+                        variant=label,
+                        cycles=sum(r.data["cycles"] for r in rows),
+                        traffic=sum(r.data["traffic"] for r in rows),
+                        attempts=sum(r.data["attempts"] for r in rows),
+                        placements=sum(r.data["placements"] for r in rows),
+                        seconds=sum(r.seconds for r in rows),
+                        failed=sum(r.data["failed"] for r in rows),
+                    )
                 )
-                row.update(config=machine.name, budget=budget, variant=label)
-                result.rows.append(row)
     return result
-
-
-def _run_fig8_variant(
-    suite: list[Workload],
-    machine: MachineConfig,
-    budget: int,
-    scheduler: ModuloScheduler,
-    ideal: dict[str, tuple[Schedule, int]],
-    options: dict,
-) -> dict:
-    cycles = traffic = attempts = placements = failed = 0
-    started = time.perf_counter()
-    for workload in suite:
-        schedule, registers = ideal[workload.name]
-        if registers <= budget:
-            cycles += executed_cycles(schedule, workload.weight)
-            traffic += memory_traffic(workload.ddg, workload.weight)
-            continue
-        run = schedule_with_spilling(
-            workload.ddg, machine, budget, scheduler=scheduler, **options
-        )
-        attempts += run.effort.attempts
-        placements += run.effort.placements
-        if not run.converged:
-            failed += 1
-        final = run.schedule if run.schedule is not None else schedule
-        final_ddg = run.ddg if run.ddg is not None else workload.ddg
-        cycles += executed_cycles(final, workload.weight)
-        traffic += memory_traffic(final_ddg, workload.weight)
-    return dict(
-        cycles=cycles,
-        traffic=traffic,
-        attempts=attempts,
-        placements=placements,
-        seconds=time.perf_counter() - started,
-        failed=failed,
-    )
 
 
 # ======================================================================
@@ -343,6 +361,7 @@ class Fig9Result:
     )
     # (config, budget, subset size, cycles incII, cycles spill,
     #  cycles best-of-all, ideal cycles)
+    engine_run: object | None = field(default=None, repr=False)
 
     def render(self) -> str:
         return format_table(
@@ -364,47 +383,44 @@ def run_fig9(
     machines: list[MachineConfig] | None = None,
     budgets: tuple[int, ...] = DEFAULT_BUDGETS,
     scheduler: ModuloScheduler | None = None,
+    jobs: int = 1,
 ) -> Fig9Result:
+    from repro.eval.engine import machine_spec, run_cells, workload_cells
+
     suite = suite if suite is not None else perfect_club_like_suite()
     machines = machines if machines is not None else paper_configurations()
-    scheduler = scheduler or HRMSScheduler()
-    result = Fig9Result(suite_size=len(suite))
+    cells = []
     for machine in machines:
-        ideal = _ideal_outcomes(suite, machine, scheduler)
         for budget in budgets:
-            subset = 0
-            cycles_inc = cycles_spill = cycles_best = cycles_ideal = 0
-            for workload in suite:
-                schedule, registers = ideal[workload.name]
-                if registers <= budget:
-                    continue
-                inc = schedule_increasing_ii(
-                    workload.ddg, machine, budget, scheduler=scheduler
+            cells.extend(
+                workload_cells(
+                    "fig9", suite, machine, budget=budget,
+                    scheduler=scheduler,
                 )
-                if not inc.converged:
-                    continue  # the paper's comparison excludes these
-                spill = schedule_with_spilling(
-                    workload.ddg, machine, budget, scheduler=scheduler
-                )
-                best = schedule_best_of_both(
-                    workload.ddg, machine, budget, scheduler=scheduler
-                )
-                subset += 1
-                cycles_ideal += executed_cycles(schedule, workload.weight)
-                cycles_inc += executed_cycles(inc.schedule, workload.weight)
-                spill_schedule = spill.schedule or inc.schedule
-                cycles_spill += executed_cycles(spill_schedule, workload.weight)
-                best_schedule = best.schedule or spill_schedule
-                cycles_best += executed_cycles(best_schedule, workload.weight)
+            )
+    run = run_cells(cells, jobs=jobs)
+    data = {
+        (r.cell.machine, r.cell.budget, r.cell.workload): r.data
+        for r in run.results
+    }
+    result = Fig9Result(suite_size=len(suite), engine_run=run)
+    for machine in machines:
+        spec = machine_spec(machine)
+        for budget in budgets:
+            rows = [
+                data[(spec, budget, w.name)]
+                for w in suite
+                if data[(spec, budget, w.name)]["included"]
+            ]
             result.rows.append(
                 (
                     machine.name,
                     budget,
-                    subset,
-                    cycles_inc,
-                    cycles_spill,
-                    cycles_best,
-                    cycles_ideal,
+                    len(rows),
+                    sum(row["inc_cycles"] for row in rows),
+                    sum(row["spill_cycles"] for row in rows),
+                    sum(row["best_cycles"] for row in rows),
+                    sum(row["ideal_cycles"] for row in rows),
                 )
             )
     return result

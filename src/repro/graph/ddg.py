@@ -135,6 +135,10 @@ class DDG:
         self.live_out: set[str] = set()
         self._out: dict[str, list[Edge]] = {}
         self._in: dict[str, list[Edge]] = {}
+        #: Mutation counter.  Every structural change bumps it, so derived
+        #: results (MII, content fingerprint) can be cached per revision
+        #: and recomputed only after the graph actually changed.
+        self.revision = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -144,6 +148,7 @@ class DDG:
         self.nodes[node.name] = node
         self._out[node.name] = []
         self._in[node.name] = []
+        self.revision += 1
         return node
 
     def add_edge(self, edge: Edge) -> Edge:
@@ -151,11 +156,13 @@ class DDG:
             raise KeyError(f"edge endpoints missing: {edge}")
         self._out[edge.src].append(edge)
         self._in[edge.dst].append(edge)
+        self.revision += 1
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
         self._out[edge.src].remove(edge)
         self._in[edge.dst].remove(edge)
+        self.revision += 1
 
     def remove_node(self, name: str) -> None:
         """Remove a node and every incident edge."""
@@ -169,12 +176,18 @@ class DDG:
         self.live_out.discard(name)
         for invariant in self.invariants.values():
             invariant.consumers.discard(name)
+        self.revision += 1
 
     def add_invariant(self, name: str, consumer: str | None = None) -> Invariant:
         invariant = self.invariants.setdefault(name, Invariant(name))
         if consumer is not None:
             invariant.consumers.add(consumer)
+        self.revision += 1
         return invariant
+
+    def remove_invariant(self, name: str) -> None:
+        del self.invariants[name]
+        self.revision += 1
 
     # ------------------------------------------------------------------
     # queries

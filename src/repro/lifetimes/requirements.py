@@ -49,7 +49,30 @@ def register_requirements(schedule: Schedule, exact: bool = True) -> RegisterRep
     ``exact=True`` runs the end-fit allocator (the paper's Section 5
     methodology); ``exact=False`` returns the MaxLive approximation in both
     fields (the paper's examples, and much faster).
+
+    The report is memoized on the schedule instance (guarded by the
+    graph's revision counter): the experiment engine hands the same
+    memoized schedules to several budgets/artifacts, and the allocation
+    pass dominates their cost.
     """
+    from repro.sched.cache import caching_enabled
+
+    revision = schedule.ddg.revision
+    memo = getattr(schedule, "_requirements_memo", None)
+    if caching_enabled() and memo is not None:
+        entry = memo.get(exact)
+        if entry is not None and entry[0] == revision:
+            return entry[1]
+    report = _measure(schedule, exact)
+    if caching_enabled():
+        if memo is None:
+            memo = {}
+            schedule._requirements_memo = memo
+        memo[exact] = (revision, report)
+    return report
+
+
+def _measure(schedule: Schedule, exact: bool) -> RegisterReport:
     lifetimes = [lt for lt in variant_lifetimes(schedule) if lt.length > 0]
     live_bound = max_live(schedule, include_invariants=False)
     invariants = len(schedule.ddg.invariants)

@@ -11,6 +11,14 @@ them — the paper's claim that its method is scheduler-agnostic.
 """
 
 from repro.sched.base import Effort, ModuloScheduler, ScheduleError
+from repro.sched.cache import (
+    CacheStats,
+    ScheduleMemo,
+    cached_mii,
+    ddg_fingerprint,
+    machine_key,
+    schedule_memo,
+)
 from repro.sched.mii import compute_mii, rec_mii, res_mii
 from repro.sched.schedule import Schedule
 from repro.sched.hrms import HRMSScheduler
@@ -19,16 +27,22 @@ from repro.sched.swing import SwingScheduler
 from repro.sched.stage_schedule import StageScheduleResult, reduce_stages
 
 __all__ = [
+    "CacheStats",
     "Effort",
     "HRMSScheduler",
     "IMSScheduler",
     "ModuloScheduler",
     "Schedule",
     "ScheduleError",
+    "ScheduleMemo",
     "StageScheduleResult",
     "SwingScheduler",
+    "cached_mii",
     "compute_mii",
+    "ddg_fingerprint",
+    "machine_key",
     "rec_mii",
     "reduce_stages",
     "res_mii",
+    "schedule_memo",
 ]

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.graph.ddg import DDG
 from repro.machine.machine import MachineConfig
-from repro.sched.mii import compute_mii
+from repro.sched.cache import cached_mii
 from repro.sched.schedule import Schedule
 
 
@@ -86,7 +86,7 @@ class ModuloScheduler(abc.ABC):
         observes the II almost never decreases between spill iterations,
         so restarting at the previous II skips futile attempts.
         """
-        mii = compute_mii(ddg, machine)
+        mii = cached_mii(ddg, machine)
         start = max(mii, min_ii or 1)
         if max_ii is None:
             max_ii = start + _search_window(ddg, machine)

@@ -1,0 +1,331 @@
+"""Memoization of MII and schedule results.
+
+The evaluation sweeps the same loops across machine configurations,
+register budgets and heuristic variants, and the spilling driver needs
+the MII of the (mutating) working graph on every round.  Both are pure
+functions of graph content, so this module caches them:
+
+* **fingerprint** — a content hash of a :class:`~repro.graph.ddg.DDG`
+  (nodes, edges, invariants, live-outs; the graph *name* is excluded so
+  equal graphs share cache entries).  The hash itself is cached on the
+  instance and recomputed only when ``ddg.revision`` changed.
+* **MII cache** — ``(fingerprint, machine)`` → MII.  Combined with the
+  revision-guarded fingerprint this makes MII computation happen at most
+  once per graph mutation, however many times a round asks for it.
+* **schedule memo** — ``(fingerprint, machine, scheduler, min_ii,
+  max_ii)`` → the scheduled result.  Failed searches are cached too and
+  re-raise the original :class:`~repro.sched.base.ScheduleError`.  A hit
+  may return a :class:`~repro.sched.schedule.Schedule` built on a
+  *different* (content-identical) DDG instance; entries are revalidated
+  against the stored graph's current fingerprint, so a mutated graph can
+  never leak a stale schedule.
+
+Caches are per-process (the experiment engine's worker processes each
+warm their own) and can be bypassed wholesale with :func:`disabled` —
+the benchmark harness uses that to time the uncached seed behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass, replace
+
+from repro.graph.ddg import DDG
+from repro.machine.machine import MachineConfig
+from repro.sched.mii import compute_mii
+
+_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, reported by the experiment engine."""
+
+    mii_hits: int = 0
+    mii_misses: int = 0
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            self.mii_hits, self.mii_misses,
+            self.schedule_hits, self.schedule_misses,
+        )
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.mii_hits - before.mii_hits,
+            self.mii_misses - before.mii_misses,
+            self.schedule_hits - before.schedule_hits,
+            self.schedule_misses - before.schedule_misses,
+        )
+
+    def add(self, other: "CacheStats") -> None:
+        self.mii_hits += other.mii_hits
+        self.mii_misses += other.mii_misses
+        self.schedule_hits += other.schedule_hits
+        self.schedule_misses += other.schedule_misses
+
+    def as_dict(self) -> dict:
+        return {
+            "mii_hits": self.mii_hits,
+            "mii_misses": self.mii_misses,
+            "schedule_hits": self.schedule_hits,
+            "schedule_misses": self.schedule_misses,
+        }
+
+
+STATS = CacheStats()
+
+_enabled = True
+_mii_cache: dict[tuple[str, str], int] = {}
+
+
+def caching_enabled() -> bool:
+    return _enabled
+
+
+@contextlib.contextmanager
+def disabled():
+    """Bypass every cache inside the block (seed-behaviour baseline).
+
+    The flag is **process-local**: it does not reach experiment-engine
+    worker processes.  ``run_cells`` therefore refuses the worker pool
+    and evaluates serially while caching is disabled, so an "uncached"
+    timing never silently measures cached (or pool-frozen) behaviour.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def clear() -> None:
+    """Drop all cached entries and reset the hit/miss counters."""
+    _mii_cache.clear()
+    _SCHEDULE_MEMO.clear()
+    STATS.mii_hits = STATS.mii_misses = 0
+    STATS.schedule_hits = STATS.schedule_misses = 0
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+def ddg_fingerprint(ddg: DDG) -> str:
+    """Stable content hash of *ddg*, cached per revision."""
+    cached = getattr(ddg, "_fingerprint", None)
+    if cached is not None and cached[0] == ddg.revision:
+        return cached[1]
+    digest = hashlib.sha1()
+    for name in sorted(ddg.nodes):
+        node = ddg.nodes[name]
+        digest.update(
+            f"N{name}|{node.opcode.name}|{','.join(node.operands)}"
+            f"|{node.mem!r}\n".encode()
+        )
+    for edge in sorted(
+        ddg.edges,
+        key=lambda e: (e.src, e.dst, e.kind.value, e.dep.value, e.distance),
+    ):
+        digest.update(
+            f"E{edge.src}>{edge.dst}|{edge.kind.value}|{edge.dep.value}"
+            f"|{edge.distance}|{edge.spillable:d}{edge.fused:d}\n".encode()
+        )
+    for name in sorted(ddg.invariants):
+        invariant = ddg.invariants[name]
+        digest.update(
+            f"I{name}|{','.join(sorted(invariant.consumers))}"
+            f"|{invariant.spillable:d}\n".encode()
+        )
+    digest.update(f"L{','.join(sorted(ddg.live_out))}".encode())
+    fingerprint = digest.hexdigest()
+    ddg._fingerprint = (ddg.revision, fingerprint)
+    return fingerprint
+
+
+def scheduler_config(scheduler) -> dict:
+    """A scheduler's configuration: public instance attributes only.
+    Underscore attributes are per-run scratch (e.g. Swing's ``_times``)
+    and must not leak into identity."""
+    return {
+        name: value
+        for name, value in vars(scheduler).items()
+        if not name.startswith("_")
+    }
+
+
+def scheduler_key(scheduler) -> str:
+    """Cache key of a scheduler: its name plus any constructor state
+    (e.g. ``IMSScheduler(budget_ratio=...)``), so differently-configured
+    instances never share entries."""
+    config = ",".join(
+        f"{name}={value!r}"
+        for name, value in sorted(scheduler_config(scheduler).items())
+    )
+    return f"{scheduler.name}|{config}"
+
+
+def machine_key(machine: MachineConfig) -> str:
+    """Cache key of a machine configuration (content, not just the name,
+    so two different ``generic:U:L`` instances never collide)."""
+    counts = ",".join(
+        f"{fu.value}={machine.fu_counts[fu]}"
+        for fu in sorted(machine.fu_counts, key=lambda f: f.value)
+    )
+    latencies = ",".join(
+        f"{op.name}={machine.latencies[op]}"
+        for op in sorted(machine.latencies, key=lambda o: o.name)
+    )
+    non_pipelined = ",".join(
+        sorted(fu.value for fu in machine.non_pipelined)
+    )
+    return (
+        f"{machine.name}|{counts}|{latencies}|{non_pipelined}"
+        f"|{machine.generic:d}"
+    )
+
+
+def owned_schedule(schedule):
+    """A caller-owned copy of a possibly memo-shared schedule.
+
+    Entry points that may return a memo entry (the spilling driver, the
+    II-increase driver, the combined method) must hand out copies:
+    results are caller-mutable, memo entries are not, and the staleness
+    guard only watches the graph, not ``times``.
+    """
+    if schedule is None:
+        return None
+    return replace(
+        schedule, ddg=schedule.ddg.copy(), times=dict(schedule.times)
+    )
+
+
+# ----------------------------------------------------------------------
+# MII
+def cached_mii(ddg: DDG, machine: MachineConfig) -> int:
+    """``compute_mii`` memoized on ``(graph content, machine)``."""
+    if not _enabled:
+        return compute_mii(ddg, machine)
+    key = (ddg_fingerprint(ddg), machine_key(machine))
+    hit = _mii_cache.get(key)
+    if hit is not None:
+        STATS.mii_hits += 1
+        return hit
+    STATS.mii_misses += 1
+    mii = compute_mii(ddg, machine)
+    if len(_mii_cache) >= _MAX_ENTRIES:
+        _mii_cache.pop(next(iter(_mii_cache)))
+    _mii_cache[key] = mii
+    return mii
+
+
+# ----------------------------------------------------------------------
+# schedules
+@dataclass
+class _MemoEntry:
+    ddg: DDG
+    fingerprint: str
+    schedule: object | None  # Schedule on success
+    error: str | None        # ScheduleError message on failure
+
+
+class ScheduleMemo:
+    """Memo for full II searches (``ModuloScheduler.schedule``)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, _MemoEntry] = {}
+        #: This memo's own accounting; the module-wide :data:`STATS`
+        #: totals are updated as well.
+        self.stats = CacheStats()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def schedule(
+        self,
+        scheduler,
+        ddg: DDG,
+        machine: MachineConfig,
+        min_ii: int | None = None,
+        max_ii: int | None = None,
+    ):
+        """Like ``scheduler.schedule(...)`` but memoized.  On a hit the
+        returned schedule may be built on a different, content-identical
+        DDG instance."""
+        from repro.sched.base import ScheduleError
+
+        if not _enabled:
+            return scheduler.schedule(ddg, machine, min_ii=min_ii, max_ii=max_ii)
+        key = (
+            ddg_fingerprint(ddg),
+            machine_key(machine),
+            scheduler_key(scheduler),
+            min_ii,
+            max_ii,
+        )
+        entry = self._entries.get(key)
+        if entry is not None and ddg_fingerprint(entry.ddg) == key[0]:
+            self.stats.schedule_hits += 1
+            STATS.schedule_hits += 1
+            if entry.error is not None:
+                raise ScheduleError(entry.error)
+            return entry.schedule
+        self.stats.schedule_misses += 1
+        STATS.schedule_misses += 1
+        try:
+            schedule = scheduler.schedule(
+                ddg, machine, min_ii=min_ii, max_ii=max_ii
+            )
+        except ScheduleError as error:
+            self._remember(key, _MemoEntry(ddg, key[0], None, str(error)))
+            raise
+        self._remember(key, _MemoEntry(ddg, key[0], schedule, None))
+        return schedule
+
+    def try_at(
+        self,
+        scheduler,
+        ddg: DDG,
+        machine: MachineConfig,
+        ii: int,
+    ):
+        """Like ``scheduler.try_schedule_at(ddg, machine, ii)`` but
+        memoized; failed attempts cache ``None``.  The II-increase driver
+        and the combined method's binary search probe the same
+        ``(graph, machine, II)`` points for every register budget — the
+        attempt outcome does not depend on the budget, so they share."""
+        if not _enabled:
+            return scheduler.try_schedule_at(ddg, machine, ii)
+        key = (
+            ddg_fingerprint(ddg),
+            machine_key(machine),
+            scheduler_key(scheduler),
+            "at",
+            ii,
+        )
+        entry = self._entries.get(key)
+        if entry is not None and ddg_fingerprint(entry.ddg) == key[0]:
+            self.stats.schedule_hits += 1
+            STATS.schedule_hits += 1
+            return entry.schedule
+        self.stats.schedule_misses += 1
+        STATS.schedule_misses += 1
+        schedule = scheduler.try_schedule_at(ddg, machine, ii)
+        self._remember(key, _MemoEntry(ddg, key[0], schedule, None))
+        return schedule
+
+    def _remember(self, key: tuple, entry: _MemoEntry) -> None:
+        if len(self._entries) >= _MAX_ENTRIES:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = entry
+
+
+_SCHEDULE_MEMO = ScheduleMemo()
+
+
+def schedule_memo() -> ScheduleMemo:
+    """The process-wide schedule memo (one per engine worker)."""
+    return _SCHEDULE_MEMO

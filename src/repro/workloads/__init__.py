@@ -12,17 +12,32 @@ loops whose register demand never converges under II increase).
 
 from repro.workloads.kernels import NAMED_KERNELS, named_kernel
 from repro.workloads.apsi import apsi47_like, apsi50_like
-from repro.workloads.synthetic import LoopSpec, generate_loop_spec
-from repro.workloads.suite import Workload, perfect_club_like_suite, suite_size
+from repro.workloads.synthetic import (
+    LoopSpec,
+    RandomDDGParams,
+    generate_loop_spec,
+    random_loop_source,
+    random_loop_specs,
+)
+from repro.workloads.suite import (
+    Workload,
+    perfect_club_like_suite,
+    random_suite,
+    suite_size,
+)
 
 __all__ = [
     "LoopSpec",
     "NAMED_KERNELS",
+    "RandomDDGParams",
     "Workload",
     "apsi47_like",
     "apsi50_like",
     "generate_loop_spec",
     "named_kernel",
     "perfect_club_like_suite",
+    "random_loop_source",
+    "random_loop_specs",
+    "random_suite",
     "suite_size",
 ]

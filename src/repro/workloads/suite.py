@@ -18,7 +18,11 @@ from repro.graph.builder import ddg_from_source
 from repro.graph.ddg import DDG
 from repro.workloads.apsi import apsi47_source, apsi50_source
 from repro.workloads.kernels import NAMED_KERNELS
-from repro.workloads.synthetic import generate_loop_spec
+from repro.workloads.synthetic import (
+    RandomDDGParams,
+    generate_loop_spec,
+    random_loop_specs,
+)
 
 DEFAULT_SUITE_SIZE = 160
 DEFAULT_SEED = 1996  # the paper's year; any seed gives a valid suite
@@ -78,3 +82,26 @@ def perfect_club_like_suite(
         index += 1
         add(spec.name, spec.source, spec.weight, spec.category)
     return workloads[:size]
+
+
+def random_suite(
+    size: int | None = None,
+    seed: int = DEFAULT_SEED,
+    params: RandomDDGParams | None = None,
+    **overrides,
+) -> list[Workload]:
+    """A purely random loop population from the parameterized generator
+    (``workloads.synthetic.random_loop_specs``) — the sweep engine's way
+    of covering scenarios outside the calibrated strata."""
+    if size is None:
+        size = suite_size()
+    return [
+        Workload(
+            name=spec.name,
+            source=spec.source,
+            ddg=ddg_from_source(spec.source, name=spec.name),
+            weight=spec.weight,
+            category=spec.category,
+        )
+        for spec in random_loop_specs(size, seed, params, **overrides)
+    ]

@@ -34,7 +34,7 @@ same suite, byte for byte.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.workloads.apsi import apsi47_source, apsi50_source
 
@@ -216,3 +216,158 @@ _GENERATORS = {
     "high_pressure": _gen_high_pressure,
     "nonconvergent": _gen_nonconvergent,
 }
+
+
+# ======================================================================
+# Parameterized random-DDG generator.
+#
+# The category generators above reproduce the paper's strata; the sweep
+# engine additionally needs loop populations it can *steer* — more ops,
+# denser recurrences, different load/store mixes — to cover scenarios the
+# fixed suite does not.  ``random_loop_source`` emits a syntactically
+# valid mini-language body from a seeded RNG; every scalar read before
+# its assignment carries distance >= 1, so the resulting DDG is always
+# schedulable at some finite II.
+@dataclass(frozen=True)
+class RandomDDGParams:
+    """Knobs of the random loop generator.
+
+    ``ops`` is a statement budget, not an exact node count (constant
+    folding and load CSE make the DDG slightly smaller or larger).
+    ``recurrence_density`` is the probability that a statement closes a
+    loop-carried cycle; ``load_mix`` the probability that an expression
+    leaf reads an array (vs. a temp/invariant); ``store_mix`` the
+    probability that a non-recurrence statement stores to memory instead
+    of defining a temp.
+    """
+
+    ops: int = 12
+    recurrence_density: float = 0.15
+    load_mix: float = 0.55
+    store_mix: float = 0.3
+    max_distance: int = 4
+    divsqrt_share: float = 0.04
+
+    def validate(self) -> None:
+        if self.ops < 1:
+            raise ValueError("ops must be positive")
+        for field_name in ("recurrence_density", "load_mix", "store_mix",
+                           "divsqrt_share"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1]")
+        if self.max_distance < 1:
+            raise ValueError("max_distance must be >= 1")
+
+
+def random_loop_source(
+    rng: random.Random, params: RandomDDGParams | None = None
+) -> str:
+    """One random loop body drawn from *rng* under *params*."""
+    params = params or RandomDDGParams()
+    params.validate()
+    state = _RandomLoopState(rng, params)
+    statements = max(1, round(params.ops / 3))
+    lines = [state.statement(index) for index in range(statements)]
+    flush = state.flush_temps()
+    if flush:
+        lines.append(flush)
+    return "\n".join(lines)
+
+
+class _RandomLoopState:
+    """Bookkeeping for one generated loop (arrays, temps, accumulators)."""
+
+    def __init__(self, rng: random.Random, params: RandomDDGParams) -> None:
+        self.rng = rng
+        self.params = params
+        self.arrays = max(2, round(params.ops / 3))
+        self.temps: list[str] = []
+        self.n_temps = 0
+        self.n_accs = 0
+        self.n_outs = 0
+
+    # -- expression leaves ---------------------------------------------
+    def leaf(self) -> str:
+        rng, p = self.rng, self.params
+        if self.temps and rng.random() < 0.35:
+            return self.temps.pop(rng.randrange(len(self.temps)))
+        if rng.random() < p.load_mix:
+            array = f"A{rng.randrange(self.arrays)}"
+            distance = (
+                rng.randint(1, p.max_distance)
+                if rng.random() < 0.3
+                else 0
+            )
+            return f"{array}[i]" if distance == 0 else f"{array}[i-{distance}]"
+        return f"c{rng.randrange(4)}"
+
+    def expression(self, depth: int = 0) -> str:
+        rng, p = self.rng, self.params
+        if depth >= 2 or rng.random() < 0.4:
+            return self.leaf()
+        op = rng.choice(["+", "-", "*", "*", "+"])
+        left = self.expression(depth + 1)
+        right = self.expression(depth + 1)
+        if rng.random() < p.divsqrt_share:
+            return f"{left} / ({right} + c0)"
+        return f"({left} {op} {right})"
+
+    # -- statements ----------------------------------------------------
+    def statement(self, index: int) -> str:
+        rng, p = self.rng, self.params
+        if rng.random() < p.recurrence_density:
+            return self.recurrence()
+        expr = self.expression()
+        if rng.random() < p.store_mix:
+            self.n_outs += 1
+            return f"W{self.n_outs}[i] = {expr}"
+        self.n_temps += 1
+        temp = f"v{self.n_temps}"
+        self.temps.append(temp)
+        return f"{temp} = {expr}"
+
+    def recurrence(self) -> str:
+        rng, p = self.rng, self.params
+        if rng.random() < 0.5:
+            self.n_accs += 1
+            acc = f"acc{self.n_accs}"
+            # scalar read before assignment = previous iteration
+            return f"{acc} = {acc} + {self.expression(depth=1)}"
+        self.n_outs += 1
+        out = f"W{self.n_outs}"
+        distance = rng.randint(1, p.max_distance)
+        return f"{out}[i] = c0*{out}[i-{distance}] + {self.expression(depth=1)}"
+
+    def flush_temps(self) -> str | None:
+        """Dangling temps would be dead code: store their sum."""
+        if not self.temps:
+            return None
+        self.n_outs += 1
+        return f"W{self.n_outs}[i] = {' + '.join(self.temps)}"
+
+
+def random_loop_specs(
+    count: int,
+    seed: int,
+    params: RandomDDGParams | None = None,
+    **overrides,
+) -> list[LoopSpec]:
+    """A deterministic population of *count* random loops."""
+    params = params or RandomDDGParams()
+    if overrides:
+        params = replace(params, **overrides)
+    rng = random.Random(seed)
+    specs = []
+    for index in range(count):
+        source = random_loop_source(rng, params)
+        weight = max(8, int(rng.lognormvariate(5.0, 1.0)))
+        specs.append(
+            LoopSpec(
+                name=f"rnd{index:04d}",
+                source=source,
+                weight=weight,
+                category="random",
+            )
+        )
+    return specs

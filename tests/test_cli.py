@@ -88,3 +88,33 @@ class TestSuite:
         assert code == 0
         assert "suite of 6 loops" in out
         assert "apsi47_like" in out
+
+
+class TestSweep:
+    def test_sweep_renders_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--size", "8", "--machines", "P2L4",
+            "--artifacts", "table1", "--jobs", "2",
+            "--json-out", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "sweep:" in out  # engine summary line
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.sweep/1"
+        assert document["suite"]["kind"] == "club"
+        assert len(document["cells"]) == 16
+
+    def test_sweep_random_suite(self, capsys):
+        code = main([
+            "sweep", "--suite", "random", "--size", "5",
+            "--machines", "generic:4:2", "--budgets", "16",
+            "--artifacts", "table1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out

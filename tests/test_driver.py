@@ -120,6 +120,89 @@ class TestSchedulerAgnosticism:
             assert register_requirements(result.schedule).fits(12)
 
 
+class TestMIICaching:
+    def test_mii_computed_at_most_once_per_graph_mutation(self, monkeypatch):
+        """The spilling driver asks for the MII several times per round
+        (round record, last-II restart, II search start); the cache must
+        collapse those to one real computation per graph content."""
+        from repro.sched import cache as sched_cache
+
+        fingerprints = []
+        real = sched_cache.compute_mii
+
+        def counting(ddg, machine):
+            fingerprints.append(sched_cache.ddg_fingerprint(ddg))
+            return real(ddg, machine)
+
+        monkeypatch.setattr(sched_cache, "compute_mii", counting)
+        sched_cache.clear()
+        loop = ddg_from_source("x[i] = y[i]*a + y[i-3]")
+        result = schedule_with_spilling(
+            loop, generic_machine(4, 2), available=6
+        )
+        assert result.converged
+        assert len(result.rounds) >= 2
+        assert fingerprints, "MII must have been computed"
+        assert len(fingerprints) == len(set(fingerprints)), (
+            "MII recomputed for unchanged graph content"
+        )
+
+    def test_identical_graphs_share_mii_cache_entries(self, monkeypatch):
+        from repro.sched import cache as sched_cache
+
+        calls = []
+        real = sched_cache.compute_mii
+
+        def counting(ddg, machine):
+            calls.append(ddg.name)
+            return real(ddg, machine)
+
+        monkeypatch.setattr(sched_cache, "compute_mii", counting)
+        sched_cache.clear()
+        machine = generic_machine(4, 2)
+        sched_cache.cached_mii(ddg_from_source("z[i] = x[i] + y[i]"), machine)
+        assert len(calls) == 1
+        # a fresh, content-identical graph hits the cache
+        sched_cache.cached_mii(ddg_from_source("z[i] = x[i] + y[i]"), machine)
+        assert len(calls) == 1
+        assert sched_cache.STATS.mii_hits >= 1
+
+
+class TestLastIIRestart:
+    """Section 4.5: each round restarts at max(new MII, previous II) —
+    spill code's memory edges lengthen dependence cycles, so the MII can
+    rise *above* the II just scheduled."""
+
+    def _run(self):
+        # On a 2-unit latency-3 generic machine this reduction chain
+        # spills lifetimes on the recurrence, raising RecMII round over
+        # round (6 -> 9 -> 12 ...).
+        loop = ddg_from_source("s = s + A0[i]*A1[i]\nt = c0*t + s")
+        return schedule_with_spilling(
+            loop, generic_machine(2, 3), available=3, multiple=False
+        )
+
+    def test_spilling_raises_mii_above_previous_ii(self):
+        result = self._run()
+        trajectory = [(r.ii, r.mii) for r in result.rounds]
+        assert any(
+            later_mii > earlier_ii
+            for (earlier_ii, _), (_, later_mii) in zip(
+                trajectory, trajectory[1:]
+            )
+        ), trajectory
+
+    def test_rounds_never_schedule_below_their_mii(self):
+        result = self._run()
+        for entry in result.rounds:
+            assert entry.ii >= entry.mii
+
+    def test_restart_is_monotone_in_previous_ii(self):
+        result = self._run()
+        iis = [r.ii for r in result.rounds]
+        assert iis == sorted(iis)
+
+
 class TestEstimateMode:
     def test_inexact_mode_runs(self, fig2_loop, fig2_machine):
         result = schedule_with_spilling(

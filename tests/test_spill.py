@@ -157,6 +157,72 @@ class TestConsumerIsStoreOptimization:
             assert node.opcode is Opcode.SPILL_LOAD
 
 
+class TestSharedReloadDedup:
+    """Consumers sharing a (home, distance) slot share a single reload."""
+
+    def test_same_distance_consumers_share_one_reload(self):
+        # add1 and mul2 both read y[i-3]: one reload serves both.
+        ddg = ddg_from_source("x[i] = y[i]*a + y[i-3]\nw[i] = y[i-3]*b")
+        schedule = scheduled(ddg)
+        before = ddg.memory_node_count()
+        added = apply_spill(ddg, lifetime_of(schedule, "Ld_y"))
+        assert len(added) == 2  # one reload for y[i], one shared for y[i-3]
+        # traffic drops: the per-consumer-edge scheme would have added 3.
+        assert ddg.memory_node_count() == before + 1
+        shared = [e for e in ddg.edges if e.src == "Ls2_Ld_y"]
+        assert {e.dst for e in shared} == {"add1", "mul2"}
+        ddg.validate()
+        scheduled(ddg).validate()
+
+    def test_general_variant_shares_reload_and_traffic_drops(self):
+        # mul1 feeds two distance-0 consumers: store + ONE reload.
+        ddg = ddg_from_source("t = x[i]*y[i]\nz[i] = t + a\nw[i] = t - b")
+        schedule = scheduled(ddg)
+        before = ddg.memory_node_count()
+        added = apply_spill(ddg, lifetime_of(schedule, "mul1"))
+        stores = [n for n in added if ddg.nodes[n].opcode is Opcode.SPILL_STORE]
+        loads = [n for n in added if ddg.nodes[n].opcode is Opcode.SPILL_LOAD]
+        assert len(stores) == 1 and len(loads) == 1
+        assert ddg.memory_node_count() == before + 2  # not + 3
+        ddg.validate()
+        scheduled(ddg).validate()
+
+    def test_shared_reload_is_unfused_but_never_reselectable(self):
+        from repro.core.select import spill_candidates
+
+        ddg = ddg_from_source("t = x[i]*y[i]\nz[i] = t + a\nw[i] = t - b")
+        apply_spill(ddg, lifetime_of(scheduled(ddg), "mul1"))
+        shared_edges = [e for e in ddg.edges if e.src == "Ls1_mul1"]
+        assert len(shared_edges) == 2
+        assert all(not e.fused and not e.spillable for e in shared_edges)
+        names = {c.lifetime.value for c in spill_candidates(scheduled(ddg))}
+        assert "Ls1_mul1" not in names
+
+    def test_single_distance_load_keeps_reload_per_use(self):
+        # Every consumer of p[i] sits at distance 0: sharing one reload
+        # would recreate the original load unchanged, so the
+        # rematerializable-load path keeps the paper's reload per use.
+        ddg = ddg_from_source("f[i] = p[i]*q[i] + r[i]\ng[i] = p[i]*r[i] - q[i]")
+        schedule = scheduled(ddg)
+        added = apply_spill(ddg, lifetime_of(schedule, "Ld_p"))
+        assert len(added) == 2  # one fused reload per use
+        for name in added:
+            edges = [e for e in ddg.edges if e.src == name]
+            assert len(edges) == 1 and edges[0].fused
+
+    def test_spill_cost_matches_dedup(self):
+        from repro.core.select import spill_cost
+        from repro.lifetimes.lifetime import variant_lifetimes
+
+        ddg = ddg_from_source("x[i] = y[i]*a + y[i-3]\nw[i] = y[i-3]*b")
+        schedule = scheduled(ddg)
+        target = lifetime_of(schedule, "Ld_y")
+        cost = spill_cost(ddg, target)
+        before = ddg.memory_node_count()
+        apply_spill(ddg, target)
+        assert ddg.memory_node_count() - before == cost
+
+
 class TestInvariantSpill:
     def test_invariant_spill_removes_invariant(self, fig2_loop, fig2_machine):
         schedule = HRMSScheduler().schedule(fig2_loop, fig2_machine)
