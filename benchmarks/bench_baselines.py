@@ -12,10 +12,10 @@ paper's motivation for a feedback loop around the scheduler.
 
 import pytest
 
-from repro.core import (
-    schedule_with_prescheduling_spill,
-    schedule_with_spilling,
-)
+# The legacy drivers are benchmarked deliberately; import them from
+# their implementation modules to skip the deprecation shims.
+from repro.core.driver import schedule_with_spilling
+from repro.core.prespill import schedule_with_prescheduling_spill
 from repro.lifetimes import register_requirements
 from repro.machine import p2l4
 from repro.sched import HRMSScheduler, IMSScheduler, reduce_stages

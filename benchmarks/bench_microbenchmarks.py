@@ -18,7 +18,7 @@ from repro import (
     p2l4,
     register_requirements,
 )
-from repro.core import schedule_with_spilling
+from repro.core.driver import schedule_with_spilling
 from repro.lifetimes import allocate_registers, max_live, variant_lifetimes
 from repro.workloads import NAMED_KERNELS, apsi47_like, apsi50_like
 

@@ -2,28 +2,21 @@
 """The register-reduction landscape: every technique on one hard loop.
 
 The paper positions its iterative spilling against three alternatives it
-cites; this library implements all of them.  On the APSI-50 analogue
-(P2L4, 32 registers) this script runs:
+cites; this library implements all of them as *strategies* behind one
+facade, so the whole landscape is `compile_loop` with a different
+``strategy=`` string.  On the APSI-50 analogue (P2L4, 32 registers):
 
-1. plain HRMS (infinite registers — the problem statement);
+1. strategy "none"     — plain HRMS (the problem statement);
 2. stage scheduling post-pass [13] — fixed II, bounded savings;
-3. increasing the II (Cydra 5) — never converges on this loop;
-4. pre-scheduling spill [30] — preserves the MII, single pass, fails;
-5. the paper's iterative spilling — converges;
-6. the combined best-of-all — never worse than either technique.
+3. strategy "increase" — increasing the II (Cydra 5), never converges;
+4. strategy "prespill" — pre-scheduling spill [30], single pass, fails;
+5. strategy "spill"    — the paper's iterative spilling, converges;
+6. strategy "combined" — best-of-all, never worse than either.
 
 Run:  python examples/baselines_tour.py
 """
 
-from repro import (
-    HRMSScheduler,
-    p2l4,
-    register_requirements,
-    schedule_best_of_both,
-    schedule_increasing_ii,
-    schedule_with_spilling,
-)
-from repro.core import schedule_with_prescheduling_spill
+from repro import compile_loop, register_requirements
 from repro.sched import reduce_stages
 from repro.workloads import apsi50_like
 
@@ -32,41 +25,46 @@ BUDGET = 32
 
 def main() -> None:
     loop = apsi50_like()
-    machine = p2l4()
-    print(f"loop: {loop.name} ({len(loop)} ops), target {machine.name}"
+    machine = "P2L4"
+    print(f"loop: {loop.name} ({len(loop)} ops), target {machine}"
           f" with {BUDGET} registers\n")
 
-    plain = HRMSScheduler().schedule(loop, machine)
-    report = register_requirements(plain)
+    plain = compile_loop(loop, machine=machine, strategy="none",
+                         registers=BUDGET)
     print(f"1. plain HRMS:            II={plain.ii:3d}"
-          f"  registers={report.total:3d}  (needs reduction)")
+          f"  registers={plain.registers_used:3d}  (needs reduction)")
 
-    staged = reduce_stages(plain)
+    staged = reduce_stages(plain.schedule)
     staged_report = register_requirements(staged.schedule)
     print(f"2. + stage post-pass:     II={staged.schedule.ii:3d}"
           f"  registers={staged_report.total:3d}"
           f"  (saved {staged.registers_saved}, floor untouched)")
 
-    increase = schedule_increasing_ii(loop, machine, BUDGET)
-    print(f"3. increasing the II:     {'converged' if increase.converged else 'NEVER CONVERGES'}"
+    increase = compile_loop(loop, machine=machine, strategy="increase",
+                            registers=BUDGET)
+    print(f"3. increasing the II:     "
+          f"{'converged' if increase.converged else 'NEVER CONVERGES'}"
           f"  ({increase.reason})")
 
-    pre = schedule_with_prescheduling_spill(loop, machine, BUDGET)
-    print(f"4. pre-scheduling spill:  II={pre.final_ii:3d}"
-          f"  registers={pre.report.total:3d}"
+    pre = compile_loop(loop, machine=machine, strategy="prespill",
+                       registers=BUDGET)
+    print(f"4. pre-scheduling spill:  II={pre.ii:3d}"
+          f"  registers={pre.registers_used:3d}"
           f"  ({'fits' if pre.converged else 'does not fit'};"
-          f" MII preserved at {pre.mii})")
+          f" MII preserved at {pre.details['base_mii']})")
 
-    spill = schedule_with_spilling(loop, machine, BUDGET)
-    print(f"5. iterative spilling:    II={spill.final_ii:3d}"
-          f"  registers={spill.report.total:3d}"
+    spill = compile_loop(loop, machine=machine, strategy="spill",
+                         registers=BUDGET)
+    print(f"5. iterative spilling:    II={spill.ii:3d}"
+          f"  registers={spill.registers_used:3d}"
           f"  (fits; {len(spill.spilled)} lifetimes spilled,"
-          f" {spill.reschedules} reschedules)")
+          f" {spill.details['rounds']} reschedules)")
 
-    combined = schedule_best_of_both(loop, machine, BUDGET)
-    print(f"6. best of all:           II={combined.final_ii:3d}"
-          f"  registers={combined.report.total:3d}"
-          f"  (kept the {combined.method} loop)")
+    combined = compile_loop(loop, machine=machine, strategy="combined",
+                            registers=BUDGET)
+    print(f"6. best of all:           II={combined.ii:3d}"
+          f"  registers={combined.registers_used:3d}"
+          f"  (kept the {combined.details['method']} loop)")
 
 
 if __name__ == "__main__":

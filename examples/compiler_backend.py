@@ -4,29 +4,25 @@
 This is what a downstream user — a compiler writer targeting a VLIW/EPIC
 machine with 32 rotating registers — would assemble from this library:
 
-  source loop  ->  DDG  ->  register-constrained modulo schedule
+  source loop  ->  repro.api.Pipeline (schedule -> measure registers ->
+                   react, strategy chosen per loop)
                ->  rotating-register allocation  ->  kernel + prologue +
                    epilogue listing
 
-It compiles a handful of classic kernels for P1L4/32regs, choosing per
-loop between plain scheduling, the combined method, and reporting the
-spill decisions, exactly as the paper's Section 5 recommends.
+The target machine is named by its spec string (``"P1L4"``) and parsed
+by the centralized machine-spec parser behind the facade — the same
+strings the CLI and the experiment engine accept.  The pipeline object
+resolves machine/scheduler/strategy once and shares the schedule/MII
+caches across all kernels, so probing a loop at infinite registers and
+then compiling it under the budget does not reschedule from scratch.
 
 Run:  python examples/compiler_backend.py
 """
 
-from repro import (
-    allocate_registers,
-    compute_mii,
-    ddg_from_source,
-    emit_loop,
-    HRMSScheduler,
-    p1l4,
-    register_requirements,
-    schedule_best_of_both,
-)
-from repro.workloads import NAMED_KERNELS
+from repro import allocate_registers, emit_loop
+from repro.api import Pipeline
 
+MACHINE = "P1L4"   # a machine *spec*, resolved by repro.machine.specs
 REGISTERS = 32
 KERNELS = [
     "daxpy", "dot", "fir8", "stencil5", "horner8",
@@ -34,33 +30,27 @@ KERNELS = [
 ]
 
 
-def compile_loop(name: str, source: str) -> None:
-    machine = p1l4()
-    loop = ddg_from_source(source, name=name)
-    hrms = HRMSScheduler()
-    mii = compute_mii(loop, machine)
-
-    plain = hrms.schedule(loop, machine)
-    report = register_requirements(plain)
+def build_loop(pipeline: Pipeline, name: str, source: str) -> None:
+    # Probe the unconstrained schedule first (strategy "none" just
+    # schedules and reports) ...
+    plain = pipeline.compile(source, name=name, strategy="none")
     print(f"--- {name} ---")
     for line in source.splitlines():
         print(f"    {line}")
-    print(f"MII={mii}  plain: II={plain.ii}, SC={plain.stage_count},"
-          f" {report.total} registers", end="")
-    if report.fits(REGISTERS):
+    print(f"MII={plain.mii}  plain: II={plain.ii}, SC={plain.stage_count},"
+          f" {plain.registers_used} registers", end="")
+    if plain.converged:
         print("  -> fits, no register reduction needed")
-        chosen, final_ddg = plain, loop
+        chosen = plain
     else:
         print(f"  -> exceeds {REGISTERS}, applying the combined method")
-        combined = schedule_best_of_both(loop, machine, REGISTERS)
-        chosen, final_ddg = combined.schedule, combined.ddg
-        spilled = combined.spill_result.spilled
-        print(f"    method={combined.method}  II={combined.final_ii}"
-              f"  registers={combined.report.total}"
-              f"  spilled={spilled if combined.method == 'spill' else '[]'}")
+        chosen = pipeline.compile(source, name=name)  # default: combined
+        print(f"    method={chosen.details['method']}  II={chosen.ii}"
+              f"  registers={chosen.registers_used}"
+              f"  spilled={list(chosen.spilled)}")
 
-    allocation = allocate_registers(chosen)
-    code = emit_loop(chosen)
+    allocation = allocate_registers(chosen.schedule)
+    code = emit_loop(chosen.schedule)
     print(f"allocation: {allocation.registers} rotating registers"
           f" (MaxLive {allocation.max_live});"
           f" kernel {code.ii} cycle(s) x {code.stage_count} stage(s);"
@@ -75,9 +65,15 @@ def compile_loop(name: str, source: str) -> None:
 
 
 def main() -> None:
-    print(f"target: P1L4 with {REGISTERS} registers\n")
+    from repro.workloads import NAMED_KERNELS
+
+    print(f"target: {MACHINE} with {REGISTERS} registers\n")
+    pipeline = Pipeline(
+        machine=MACHINE, scheduler="hrms", strategy="combined",
+        registers=REGISTERS,
+    )
     for name in KERNELS:
-        compile_loop(name, NAMED_KERNELS[name])
+        build_loop(pipeline, name, NAMED_KERNELS[name])
 
 
 if __name__ == "__main__":

@@ -1,46 +1,50 @@
 #!/usr/bin/env python3
 """Comparing the paper's heuristics on a slice of the evaluation suite.
 
-A compact version of the paper's Figure 8/9 experiments: run the four
-spilling variants and the combined method over a deterministic sample of
-the suite on P2L4 with 32 registers, and report execution cycles, memory
-traffic and scheduling effort per heuristic — showing (i) Max(LT/Traf)
-beats Max(LT), (ii) the accelerations barely cost performance but slash
+A compact version of the paper's Figure 8/9 experiments, driven entirely
+through :class:`repro.api.Pipeline`: run the four spilling variants and
+the combined method over a deterministic sample of the suite on P2L4
+with 32 registers, and report execution cycles, memory traffic and
+scheduling effort per heuristic — showing (i) Max(LT/Traf) beats
+Max(LT), (ii) the accelerations barely cost performance but slash
 scheduling work, (iii) best-of-all never loses.
+
+Every variant re-probes the same loops, so the pipeline's shared
+schedule/MII/spill memos do most of the work after the first pass.
 
 Run:  python examples/heuristics_comparison.py [suite_size]
 """
 
 import sys
 
-from repro import HRMSScheduler, p2l4, register_requirements, schedule_best_of_both
-from repro.core import SelectionPolicy, schedule_with_spilling
+from repro.api import Pipeline
 from repro.eval import executed_cycles, format_table, memory_traffic
 from repro.workloads import perfect_club_like_suite
 
 VARIANTS = [
-    ("Max(LT)", dict(policy=SelectionPolicy.MAX_LT, multiple=False, last_ii=False)),
-    ("Max(LT/Traf)", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=False, last_ii=False)),
-    ("  + multiple", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=False)),
-    ("  + last II", dict(policy=SelectionPolicy.MAX_LT_TRAF, multiple=True, last_ii=True)),
+    ("Max(LT)", dict(policy="max_lt", multiple=False, last_ii=False)),
+    ("Max(LT/Traf)", dict(policy="max_lt_traf", multiple=False, last_ii=False)),
+    ("  + multiple", dict(policy="max_lt_traf", multiple=True, last_ii=False)),
+    ("  + last II", dict(policy="max_lt_traf", multiple=True, last_ii=True)),
 ]
+
+BUDGET = 32
 
 
 def main() -> None:
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 48
-    machine = p2l4()
-    budget = 32
-    hrms = HRMSScheduler()
     suite = perfect_club_like_suite(size=size)
+    pipeline = Pipeline(machine="P2L4", scheduler="hrms", registers=BUDGET)
 
-    needy = []
-    ideal_cycles = 0
-    for workload in suite:
-        schedule = hrms.schedule(workload.ddg, machine)
-        ideal_cycles += executed_cycles(schedule, workload.weight)
-        if not register_requirements(schedule).fits(budget):
-            needy.append(workload)
-    print(f"suite: {len(suite)} loops on {machine.name}/{budget} registers;"
+    ideal = {
+        w.name: pipeline.compile(w.ddg, name=w.name, strategy="none")
+        for w in suite
+    }
+    needy = [w for w in suite if not ideal[w.name].converged]
+    ideal_cycles = sum(
+        executed_cycles(ideal[w.name].schedule, w.weight) for w in suite
+    )
+    print(f"suite: {len(suite)} loops on P2L4/{BUDGET} registers;"
           f" {len(needy)} need register reduction")
     print(f"ideal (infinite registers) total: {ideal_cycles:,} cycles\n")
 
@@ -48,29 +52,27 @@ def main() -> None:
     for label, options in VARIANTS:
         cycles = traffic = placements = 0
         for workload in suite:
-            schedule = hrms.schedule(workload.ddg, machine)
-            if register_requirements(schedule).fits(budget):
-                cycles += executed_cycles(schedule, workload.weight)
-                traffic += memory_traffic(workload.ddg, workload.weight)
-                continue
-            run = schedule_with_spilling(
-                workload.ddg, machine, budget, **options
-            )
-            placements += run.effort.placements
-            cycles += executed_cycles(run.schedule, workload.weight)
-            traffic += memory_traffic(run.ddg, workload.weight)
+            if ideal[workload.name].converged:
+                result = ideal[workload.name]
+            else:
+                result = pipeline.compile(
+                    workload.ddg, name=workload.name,
+                    strategy="spill", options=options,
+                )
+                placements += result.placements
+            cycles += executed_cycles(result.schedule, workload.weight)
+            traffic += memory_traffic(result.ddg, workload.weight)
         rows.append([label, cycles, traffic, placements])
 
     cycles = traffic = 0
     for workload in suite:
-        schedule = hrms.schedule(workload.ddg, machine)
-        if register_requirements(schedule).fits(budget):
-            cycles += executed_cycles(schedule, workload.weight)
-            traffic += memory_traffic(workload.ddg, workload.weight)
-            continue
-        combined = schedule_best_of_both(workload.ddg, machine, budget)
-        cycles += executed_cycles(combined.schedule, workload.weight)
-        traffic += memory_traffic(combined.ddg, workload.weight)
+        result = ideal[workload.name]
+        if not result.converged:
+            result = pipeline.compile(
+                workload.ddg, name=workload.name, strategy="combined"
+            )
+        cycles += executed_cycles(result.schedule, workload.weight)
+        traffic += memory_traffic(result.ddg, workload.weight)
     rows.append(["best of all", cycles, traffic, 0])
 
     print(format_table(

@@ -19,11 +19,10 @@ Run:  python examples/quickstart.py
 
 from repro import (
     HRMSScheduler,
+    compile_loop,
     ddg_from_source,
     generic_machine,
     max_live,
-    register_requirements,
-    schedule_with_spilling,
 )
 from repro.codegen import (
     render_kernel,
@@ -74,18 +73,21 @@ def main() -> None:
     # ------------------------------------------------------------------
     print("=== Figures 5-6: spill V1 instead ===")
     # 6 registers total = 5 for variants (paper Figure 6d) + 1 invariant.
-    result = schedule_with_spilling(loop, machine, available=6)
+    # One facade call runs the whole schedule->measure->spill loop:
+    result = compile_loop(
+        loop, machine=machine, scheduler=hrms, strategy="spill", registers=6
+    )
     assert result.converged
-    print(f"spilled lifetimes: {result.spilled}")
+    print(f"spilled lifetimes: {list(result.spilled)}")
     print("transformed graph (paper Figure 5c — no spill store needed,")
     print("the producer is a load; '!' marks non-spillable, '~' fused):")
     print(result.ddg)
     print()
     print(render_schedule(result.schedule))
     print(render_pressure(result.schedule, include_invariants=False))
-    report = register_requirements(result.schedule)
+    report = result.report
     print(f"-> paper: II=2 and 5 registers for variants; measured:"
-          f" II={result.final_ii},"
+          f" II={result.ii},"
           f" {max_live(result.schedule, include_invariants=False)} registers")
     print(f"   after actual allocation: {report.allocated} rotating registers"
           f" + {report.invariants} invariant = {report.total}")

@@ -2,7 +2,8 @@
 """Why increasing the II cannot always work — a tour of register pressure.
 
 Takes the two loop archetypes of the paper's Section 3 (the APSI 47 / 50
-analogues) and shows, on P2L4:
+analogues) and shows, on P2L4, using the `compile_loop` facade with the
+"increase" and "spill" strategies:
 
 1. the registers-vs-II curve (paper Figure 4): the convergent loop creeps
    down to any budget; the non-convergent one hits a floor made of
@@ -14,9 +15,8 @@ analogues) and shows, on P2L4:
 Run:  python examples/register_pressure_tour.py
 """
 
-from repro import p2l4, schedule_increasing_ii, schedule_with_spilling
+from repro import compile_loop
 from repro.core.increase_ii import distance_register_floor
-from repro.core.select import SelectionPolicy
 from repro.workloads import apsi47_like, apsi50_like
 
 
@@ -29,22 +29,25 @@ def sparkline(values: list[int], lo: int, hi: int) -> str:
 
 
 def main() -> None:
-    machine = p2l4()
+    machine = "P2L4"
     for loop in (apsi47_like(), apsi50_like()):
         print(f"=== {loop.name} ({len(loop)} operations) ===")
         floor = distance_register_floor(loop)
         print(f"distance/invariant register floor: {floor}")
-        sweep = schedule_increasing_ii(
-            loop, machine, available=1, patience=15, max_ii=90,
-            stop_on_certificate=False,
+        # One sweep down to an impossible budget yields the whole curve;
+        # the trace is the (II, registers) trail Figure 4 plots.
+        sweep = compile_loop(
+            loop, machine=machine, strategy="increase", registers=1,
+            options=dict(patience=15, max_ii=90, stop_on_certificate=False),
         )
-        series = [regs for _, regs in sweep.trail]
-        first_ii = sweep.trail[0][0]
-        print(f"registers vs II (II={first_ii}..{sweep.trail[-1][0]}):")
+        trail = [(row["ii"], row["registers"]) for row in sweep.trace]
+        series = [regs for _, regs in trail]
+        first_ii = trail[0][0]
+        print(f"registers vs II (II={first_ii}..{trail[-1][0]}):")
         print(f"  {sparkline(series, min(series), max(series))}"
               f"  [{series[0]} -> {series[-1]}]")
         for budget in (32, 16):
-            fitting = [ii for ii, regs in sweep.trail if regs <= budget]
+            fitting = [ii for ii, regs in trail if regs <= budget]
             if fitting:
                 print(f"  II increase reaches {budget} registers at"
                       f" II={min(fitting)}"
@@ -52,12 +55,13 @@ def main() -> None:
             else:
                 print(f"  II increase NEVER reaches {budget} registers"
                       f" (floor is {max(floor, min(series))})")
-            spill = schedule_with_spilling(
-                loop, machine, budget, policy=SelectionPolicy.MAX_LT_TRAF
+            spill = compile_loop(
+                loop, machine=machine, strategy="spill", registers=budget,
+                options=dict(policy="max_lt_traf"),
             )
             print(f"  spilling reaches {budget} registers at"
-                  f" II={spill.final_ii} with {len(spill.spilled)} lifetimes"
-                  f" spilled, {spill.reschedules} reschedules")
+                  f" II={spill.ii} with {len(spill.spilled)} lifetimes"
+                  f" spilled, {spill.details['rounds']} reschedules")
         print()
 
 

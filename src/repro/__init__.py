@@ -6,20 +6,25 @@ scheduling with HRMS, register lifetime analysis on rotating register
 files, and the paper's iterative spilling framework for producing valid
 schedules under a fixed register budget.
 
-Quick tour::
+Quick tour — the unified pipeline API::
 
-    from repro import (
-        ddg_from_source, p2l4, HRMSScheduler,
-        schedule_with_spilling, register_requirements,
+    from repro import compile_loop
+
+    result = compile_loop(
+        "x[i] = y[i]*a + y[i-3]",
+        machine="P2L4", scheduler="hrms", strategy="spill", registers=8,
     )
+    print(result.render())          # or result.to_json()
+    print(result.ii, result.spilled)
 
-    loop = ddg_from_source("x[i] = y[i]*a + y[i-3]")
-    machine = p2l4()
-    plain = HRMSScheduler().schedule(loop, machine)
-    print(register_requirements(plain).total)
-
-    fitted = schedule_with_spilling(loop, machine, available=8)
-    print(fitted.final_ii, fitted.spilled)
+:func:`compile_loop` (and :class:`Pipeline`, for repeated compilation
+with shared caches) runs any registered scheduler
+(:mod:`repro.sched.registry`: ``hrms``/``ims``/``swing``) under any
+registered register-pressure strategy (:mod:`repro.core.registry`:
+``spill``/``increase``/``prespill``/``combined``/``none``) and always
+returns a :class:`~repro.api.CompilationResult`.  The per-method
+``schedule_*`` entry points re-exported here are deprecated shims kept
+for compatibility.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -62,14 +67,18 @@ from repro.core import (
     schedule_with_spilling,
 )
 from repro.codegen import emit_loop
+from repro.api import CompilationResult, Pipeline, compile_loop
+from repro.machine.specs import machine_spec, resolve_machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompilationResult",
     "DDG",
     "HRMSScheduler",
     "IMSScheduler",
     "MachineConfig",
+    "Pipeline",
     "Schedule",
     "ScheduleError",
     "SelectionPolicy",
@@ -77,10 +86,12 @@ __all__ = [
     "allocate_registers",
     "apply_spill",
     "build_ddg",
+    "compile_loop",
     "compute_mii",
     "ddg_from_source",
     "emit_loop",
     "generic_machine",
+    "machine_spec",
     "max_live",
     "p1l4",
     "p2l4",
@@ -92,6 +103,7 @@ __all__ = [
     "reduce_stages",
     "register_requirements",
     "res_mii",
+    "resolve_machine",
     "schedule_best_of_both",
     "schedule_increasing_ii",
     "schedule_with_prescheduling_spill",

@@ -1,0 +1,349 @@
+"""The unified compilation pipeline API.
+
+Every method the paper discusses — iterative spilling (Figure 1b),
+increasing the II (Figure 1a), the pre-scheduling baseline [30], the
+Section-5 combined method — is one loop: *schedule → measure registers →
+react*.  This module is the single entry point for running that loop:
+
+    from repro.api import compile_loop
+
+    result = compile_loop(
+        "x[i] = y[i]*a + y[i-3]",
+        machine="P2L4",          # or generic:4:2, or a MachineConfig
+        scheduler="hrms",        # or ims / swing, or an instance
+        strategy="spill",        # or increase / prespill / combined / none
+        registers=16,
+    )
+    print(result.render())       # human-readable
+    print(result.to_json())      # machine-readable, JSON-safe
+
+Schedulers come from :mod:`repro.sched.registry` and strategies from
+:mod:`repro.core.registry`; both support third-party registration, so a
+new scheduler or register-pressure strategy is immediately reachable
+from this facade, the CLI and the experiment engine.  Machine specs
+(``"P2L4"``, ``"generic:UNITS:LATENCY"``, explicit ``MachineConfig``)
+are parsed by :mod:`repro.machine.specs`.
+
+For repeated compilation (a compiler back-end, a service endpoint) use
+:class:`Pipeline`: it resolves machine/scheduler/strategy once, keeps a
+parsed-DDG cache, and — because it reuses one scheduler instance — every
+``compile`` call shares the process-wide schedule/MII/spill memos in
+:mod:`repro.sched.cache`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.core.registry import StrategyOutcome, get_strategy
+from repro.graph.builder import ddg_from_source
+from repro.graph.ddg import DDG
+from repro.lifetimes.requirements import RegisterReport
+from repro.machine.machine import MachineConfig
+from repro.machine.specs import machine_label, resolve_machine
+from repro.sched.base import ModuloScheduler
+from repro.sched.cache import cached_mii
+from repro.sched.registry import canonical_name, create_scheduler
+from repro.sched.schedule import Schedule
+
+JSON_SCHEMA = "repro.compile/1"
+
+
+@dataclass
+class CompilationResult:
+    """The one result shape every scheduler × strategy combination
+    produces.
+
+    Scalar fields are JSON-safe and round-trip through
+    :meth:`to_json` / :meth:`from_json`; the heavyweight artifacts
+    (``schedule``, ``report``, ``ddg``) ride along for callers that
+    render kernels or allocate registers, and are excluded from JSON.
+    """
+
+    converged: bool
+    reason: str
+    loop: str
+    machine: str
+    scheduler: str
+    strategy: str
+    registers: int | None          #: the budget (None = unconstrained)
+    registers_used: int | None     #: final requirement, if a schedule exists
+    mii: int                       #: MII of the *original* graph
+    ii: int | None                 #: final II, if a schedule exists
+    stage_count: int | None
+    memory_ops: int                #: memory operations in the final graph
+    spilled: tuple[str, ...] = ()
+    trace: tuple[dict, ...] = ()   #: per-round/per-II history
+    attempts: int = 0              #: scheduling attempts (effort proxy)
+    placements: int = 0            #: slot probes (effort proxy)
+    wall_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+    schedule: Schedule | None = field(
+        default=None, repr=False, compare=False
+    )
+    report: RegisterReport | None = field(
+        default=None, repr=False, compare=False
+    )
+    ddg: DDG | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` or ``"failed"`` — the one-word verdict."""
+        return "ok" if self.converged else "failed"
+
+    def render(self) -> str:
+        """Human-readable summary (what ``repro compile`` prints)."""
+        verdict = "ok" if self.converged else f"DID NOT FIT ({self.reason})"
+        budget = "inf" if self.registers is None else str(self.registers)
+        lines = [
+            f"{self.loop}: {verdict}  II={self.ii} SC={self.stage_count}"
+            f" MII={self.mii} registers={self.registers_used}/{budget}"
+            f" ({self.machine}, {self.scheduler}, {self.strategy})"
+        ]
+        if self.spilled:
+            lines.append(f"spilled: {', '.join(self.spilled)}")
+        extras = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.details.items())
+        )
+        if extras:
+            lines.append(extras)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-safe dict of every scalar field (schema
+        ``repro.compile/1``); ``schedule``/``report``/``ddg`` excluded."""
+        return {
+            "schema": JSON_SCHEMA,
+            "status": self.status,
+            "converged": self.converged,
+            "reason": self.reason,
+            "loop": self.loop,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "strategy": self.strategy,
+            "registers": self.registers,
+            "registers_used": self.registers_used,
+            "mii": self.mii,
+            "ii": self.ii,
+            "stage_count": self.stage_count,
+            "memory_ops": self.memory_ops,
+            "spilled": list(self.spilled),
+            "trace": [dict(row) for row in self.trace],
+            "attempts": self.attempts,
+            "placements": self.placements,
+            "wall_seconds": self.wall_seconds,
+            "details": dict(self.details),
+        }
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: dict) -> "CompilationResult":
+        """Rebuild the scalar result from :meth:`to_json` output (the
+        schedule/report/graph artifacts are not serialized)."""
+        if document.get("schema") != JSON_SCHEMA:
+            raise ValueError(
+                f"expected schema {JSON_SCHEMA!r},"
+                f" got {document.get('schema')!r}"
+            )
+        return cls(
+            converged=document["converged"],
+            reason=document["reason"],
+            loop=document["loop"],
+            machine=document["machine"],
+            scheduler=document["scheduler"],
+            strategy=document["strategy"],
+            registers=document["registers"],
+            registers_used=document["registers_used"],
+            mii=document["mii"],
+            ii=document["ii"],
+            stage_count=document["stage_count"],
+            memory_ops=document["memory_ops"],
+            spilled=tuple(document["spilled"]),
+            trace=tuple(dict(row) for row in document["trace"]),
+            attempts=document["attempts"],
+            placements=document["placements"],
+            wall_seconds=document["wall_seconds"],
+            details=dict(document["details"]),
+        )
+
+
+# ----------------------------------------------------------------------
+def _as_ddg(source_or_ddg: str | DDG, name: str) -> DDG:
+    if isinstance(source_or_ddg, DDG):
+        return source_or_ddg
+    if isinstance(source_or_ddg, str):
+        return ddg_from_source(source_or_ddg, name=name)
+    raise ValueError(
+        f"loop must be mini-language source or a DDG, not"
+        f" {type(source_or_ddg).__name__}"
+    )
+
+
+def _run(
+    ddg: DDG,
+    machine: MachineConfig,
+    scheduler: ModuloScheduler,
+    strategy_name: str,
+    registers: int | None,
+    options: dict | None,
+) -> CompilationResult:
+    strategy = get_strategy(strategy_name)
+    started = time.perf_counter()
+    mii = cached_mii(ddg, machine)
+    outcome: StrategyOutcome = strategy(
+        ddg, machine, scheduler, registers, dict(options or {})
+    )
+    wall = time.perf_counter() - started
+    schedule = outcome.schedule
+    try:
+        scheduler_label = canonical_name(scheduler)
+    except ValueError:
+        scheduler_label = scheduler.name
+    return CompilationResult(
+        converged=outcome.converged,
+        reason=outcome.reason,
+        loop=ddg.name,
+        machine=machine_label(machine),
+        scheduler=scheduler_label,
+        strategy=strategy_name.lower(),
+        registers=registers,
+        registers_used=(
+            outcome.report.total if outcome.report is not None else None
+        ),
+        mii=mii,
+        ii=schedule.ii if schedule is not None else None,
+        stage_count=schedule.stage_count if schedule is not None else None,
+        memory_ops=(
+            outcome.ddg.memory_node_count()
+            if outcome.ddg is not None
+            else ddg.memory_node_count()
+        ),
+        spilled=tuple(outcome.spilled),
+        trace=tuple(outcome.trace),
+        attempts=outcome.effort.attempts,
+        placements=outcome.effort.placements,
+        wall_seconds=wall,
+        details=dict(outcome.details),
+        schedule=schedule,
+        report=outcome.report,
+        ddg=outcome.ddg,
+    )
+
+
+def compile_loop(
+    source_or_ddg: str | DDG,
+    machine: str | MachineConfig = "P2L4",
+    scheduler: str | ModuloScheduler | type[ModuloScheduler] = "hrms",
+    strategy: str = "combined",
+    registers: int | None = 32,
+    options: dict | None = None,
+    name: str = "loop",
+) -> CompilationResult:
+    """Compile one loop under a register budget and return the unified
+    :class:`CompilationResult`.
+
+    Arguments:
+        source_or_ddg: mini-language source text or an already-built DDG.
+        machine: machine spec string or explicit configuration
+            (see :mod:`repro.machine.specs`).
+        scheduler: registered scheduler name, instance or class
+            (see :mod:`repro.sched.registry`).
+        strategy: registered register-pressure strategy name
+            (see :mod:`repro.core.registry`).
+        registers: the register budget; ``None`` (unconstrained) is only
+            meaningful with ``strategy="none"``.
+        options: strategy-specific options (e.g. ``policy``/``multiple``
+            /``last_ii`` for ``spill``, ``patience`` for ``increase``);
+            unknown keys raise :class:`ValueError`.
+        name: loop name when *source_or_ddg* is source text.
+
+    Raises :class:`ValueError` for unknown machine, scheduler, strategy
+    or option names.
+    """
+    return _run(
+        _as_ddg(source_or_ddg, name),
+        resolve_machine(machine),
+        create_scheduler(scheduler),
+        strategy,
+        registers,
+        options,
+    )
+
+
+_UNSET = object()
+
+
+class Pipeline:
+    """Repeated compilation with shared state.
+
+    Resolves machine/scheduler/strategy once at construction; every
+    :meth:`compile` call may override any of them.  Parsed DDGs are
+    cached per ``(name, source)``, and because one scheduler instance is
+    reused, all calls share the process-wide schedule/MII/spill memos in
+    :mod:`repro.sched.cache` — compiling the same loop twice (or probing
+    several budgets) does not reschedule from scratch.
+    """
+
+    def __init__(
+        self,
+        machine: str | MachineConfig = "P2L4",
+        scheduler: str | ModuloScheduler | type[ModuloScheduler] = "hrms",
+        strategy: str = "combined",
+        registers: int | None = 32,
+        options: dict | None = None,
+    ) -> None:
+        self.machine = resolve_machine(machine)
+        self.scheduler = create_scheduler(scheduler)
+        get_strategy(strategy)  # fail fast on unknown names
+        self.strategy = strategy.lower()
+        self.registers = registers
+        self.options = dict(options or {})
+        self._ddg_cache: dict[tuple[str, str], DDG] = {}
+
+    def ddg(self, source_or_ddg: str | DDG, name: str = "loop") -> DDG:
+        """The pipeline's parsed view of a loop (cached per source)."""
+        if isinstance(source_or_ddg, DDG):
+            return source_or_ddg
+        key = (name, source_or_ddg)
+        cached = self._ddg_cache.get(key)
+        if cached is None:
+            if len(self._ddg_cache) >= 512:
+                self._ddg_cache.pop(next(iter(self._ddg_cache)))
+            cached = _as_ddg(source_or_ddg, name)
+            self._ddg_cache[key] = cached
+        return cached
+
+    def compile(
+        self,
+        source_or_ddg: str | DDG,
+        name: str = "loop",
+        machine: str | MachineConfig | None = None,
+        scheduler: str | ModuloScheduler | type[ModuloScheduler] | None = None,
+        strategy: str | None = None,
+        registers: "int | None | object" = _UNSET,
+        options: dict | None = None,
+    ) -> CompilationResult:
+        """Compile one loop with this pipeline's defaults, overriding
+        any argument per call (``registers=None`` means unconstrained)."""
+        return _run(
+            self.ddg(source_or_ddg, name),
+            self.machine if machine is None else resolve_machine(machine),
+            self.scheduler if scheduler is None
+            else create_scheduler(scheduler),
+            self.strategy if strategy is None else strategy,
+            self.registers if registers is _UNSET else registers,
+            self.options if options is None else options,
+        )
+
+    def compile_many(
+        self, loops: dict[str, str | DDG], **overrides
+    ) -> dict[str, CompilationResult]:
+        """Compile a named batch; results keyed like the input."""
+        return {
+            name: self.compile(loop, name=name, **overrides)
+            for name, loop in loops.items()
+        }

@@ -1,5 +1,13 @@
 """Command-line interface.
 
+A thin shell over the unified compilation pipeline API
+(:mod:`repro.api`): every subcommand resolves machines through
+:mod:`repro.machine.specs`, schedulers through
+:mod:`repro.sched.registry` and register-pressure strategies through
+:mod:`repro.core.registry` — the CLI keeps no lookup tables of its own,
+so registering a new scheduler or strategy makes it reachable from the
+command line without touching this module.
+
 Compile a loop written in the mini language into a register-constrained
 software-pipelined schedule and inspect every intermediate artifact::
 
@@ -11,16 +19,18 @@ software-pipelined schedule and inspect every intermediate artifact::
 
 Subcommands:
 
-* ``compile`` — schedule under a register budget using the paper's
-  methods (``--method spill`` is Figure 1b, ``increase`` Figure 1a,
-  ``combined`` the Section-5 proposal, ``prespill`` the [30] baseline);
+* ``compile`` — run :func:`repro.api.compile_loop` under a register
+  budget (``--method spill`` is Figure 1b, ``increase`` Figure 1a,
+  ``combined`` the Section-5 proposal, ``prespill`` the [30] baseline,
+  ``none`` the unconstrained schedule), with ``--json`` for the
+  machine-readable :class:`~repro.api.CompilationResult`;
 * ``mii`` — print ResMII / RecMII / MII for a loop;
 * ``suite`` — summarize the evaluation suite under a budget;
 * ``sweep`` — regenerate the paper's evaluation artifacts through the
   parallel cached experiment engine (one-command reproduction): suite ×
-  machines × budgets × heuristic variants, rendered tables on stdout and
-  machine-readable JSON via ``--json-out`` (deterministic for any
-  ``--jobs`` value).
+  machines × budgets × heuristic variants × ``--scheduler``, rendered
+  tables on stdout and machine-readable JSON via ``--json-out``
+  (deterministic for any ``--jobs`` value).
 """
 
 from __future__ import annotations
@@ -28,55 +38,29 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import compile_loop
 from repro.codegen import (
     render_kernel,
     render_lifetimes,
     render_pressure,
     render_schedule,
 )
-from repro.core import (
-    SelectionPolicy,
-    schedule_best_of_both,
-    schedule_increasing_ii,
-    schedule_with_prescheduling_spill,
-    schedule_with_spilling,
-)
+from repro.core.registry import strategy_names, strategy_options
 from repro.eval import format_table
 from repro.graph import ddg_from_source
 from repro.lifetimes import register_requirements
-from repro.machine import generic_machine, p1l4, p2l4, p2l6
-from repro.sched import (
-    HRMSScheduler,
-    IMSScheduler,
-    SwingScheduler,
-    compute_mii,
-    rec_mii,
-    reduce_stages,
-    res_mii,
-)
+from repro.machine.specs import machine_names, resolve_machine
+from repro.sched import compute_mii, rec_mii, reduce_stages, res_mii
+from repro.sched.registry import create_scheduler, scheduler_names
 
-_MACHINES = {"P1L4": p1l4, "P2L4": p2l4, "P2L6": p2l6}
-_SCHEDULERS = {
-    "hrms": HRMSScheduler,
-    "ims": IMSScheduler,
-    "swing": SwingScheduler,
-}
 _SHOW_CHOICES = ("graph", "schedule", "kernel", "lifetimes", "pressure", "all")
 
 
 def _machine_from(args):
-    if args.machine.upper() in _MACHINES:
-        return _MACHINES[args.machine.upper()]()
-    if args.machine.lower().startswith("generic"):
-        # generic:UNITS:LATENCY
-        parts = args.machine.split(":")
-        units = int(parts[1]) if len(parts) > 1 else 4
-        latency = int(parts[2]) if len(parts) > 2 else 2
-        return generic_machine(units, latency)
-    raise SystemExit(
-        f"unknown machine {args.machine!r}"
-        f" (choose {', '.join(_MACHINES)} or generic:UNITS:LATENCY)"
-    )
+    try:
+        return resolve_machine(args.machine)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
 
 
 def _source_from(args) -> str:
@@ -99,52 +83,49 @@ def _add_loop_arguments(parser):
     )
     parser.add_argument(
         "--machine", default="P2L4",
-        help="P1L4, P2L4, P2L6 or generic:UNITS:LATENCY (default P2L4)",
+        help=f"{', '.join(machine_names())} or generic:UNITS:LATENCY"
+        " (default P2L4)",
     )
 
 
 def _cmd_compile(args) -> int:
-    machine = _machine_from(args)
-    loop = ddg_from_source(_source_from(args), name=args.name)
-    scheduler = _SCHEDULERS[args.scheduler]()
-
-    if args.method == "spill":
-        result = schedule_with_spilling(
-            loop, machine, args.registers, scheduler=scheduler,
-            policy=SelectionPolicy.MAX_LT if args.policy == "lt"
-            else SelectionPolicy.MAX_LT_TRAF,
+    options = {}
+    # Strategies declare their accepted options in the registry, so the
+    # --policy flag reaches every strategy that takes one (including
+    # third-party registrations) without a name list here.
+    if "policy" in strategy_options(args.method):
+        options["policy"] = "max_lt" if args.policy == "lt" else "max_lt_traf"
+    try:
+        result = compile_loop(
+            _source_from(args),
+            machine=_machine_from(args),
+            scheduler=args.scheduler,
+            strategy=args.method,
+            registers=args.registers,
+            options=options,
+            name=args.name,
         )
-        extra = f"spilled: {', '.join(result.spilled) or '(none)'}"
-    elif args.method == "increase":
-        result = schedule_increasing_ii(
-            loop, machine, args.registers, scheduler=scheduler
-        )
-        extra = f"trail: {result.trail}"
-    elif args.method == "combined":
-        result = schedule_best_of_both(
-            loop, machine, args.registers, scheduler=scheduler
-        )
-        extra = f"method chosen: {result.method}"
-    else:  # prespill
-        result = schedule_with_prescheduling_spill(
-            loop, machine, args.registers, scheduler=scheduler
-        )
-        extra = f"spilled: {', '.join(result.spilled) or '(none)'}"
+    except ValueError as error:
+        raise SystemExit(f"repro compile: {error}")
 
     if result.schedule is None:
         print(f"FAILED: {result.reason}")
+        if args.json:
+            print(result.to_json_text())
         return 1
     schedule = result.schedule
+    print(result.render())
     if args.stage_pass:
-        schedule = reduce_stages(schedule).schedule
-    report = register_requirements(schedule)
-    status = "ok" if result.converged else f"DID NOT FIT ({result.reason})"
-    print(
-        f"{loop.name}: {status}  II={schedule.ii}"
-        f" SC={schedule.stage_count} registers={report.total}"
-        f"/{args.registers} ({machine.name}, {scheduler.name})"
-    )
-    print(extra)
+        staged = reduce_stages(schedule)
+        schedule = staged.schedule
+        report = register_requirements(schedule)
+        print(
+            f"stage pass: SC={schedule.stage_count}"
+            f" registers={report.total}"
+            f" (saved {staged.registers_saved})"
+        )
+    if args.json:
+        print(result.to_json_text())
     _show(args, schedule)
     return 0 if result.converged else 1
 
@@ -180,7 +161,7 @@ def _cmd_suite(args) -> int:
 
     machine = _machine_from(args)
     suite = perfect_club_like_suite(size=args.size)
-    scheduler = HRMSScheduler()
+    scheduler = create_scheduler(args.scheduler)
     rows = []
     needy = 0
     for workload in suite:
@@ -204,7 +185,7 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.eval.engine import resolve_machine, run_sweep
+    from repro.eval.engine import run_sweep
     from repro.workloads import (
         RandomDDGParams,
         perfect_club_like_suite,
@@ -213,6 +194,7 @@ def _cmd_sweep(args) -> int:
 
     try:
         machines = [resolve_machine(spec) for spec in args.machines]
+        scheduler = create_scheduler(args.scheduler)
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}")
     if args.suite == "club":
@@ -244,6 +226,7 @@ def _cmd_sweep(args) -> int:
         budgets=tuple(args.budgets),
         artifacts=tuple(args.artifacts),
         jobs=args.jobs,
+        scheduler=scheduler,
         suite_info=suite_info,
     )
     print(report.render())
@@ -272,11 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--registers", type=int, default=32, metavar="N"
     )
     compile_parser.add_argument(
-        "--method", choices=("spill", "increase", "combined", "prespill"),
-        default="combined",
+        "--method", choices=tuple(strategy_names()), default="combined",
+        help="register-pressure strategy (default combined)",
     )
     compile_parser.add_argument(
-        "--scheduler", choices=sorted(_SCHEDULERS), default="hrms"
+        "--scheduler", choices=tuple(scheduler_names()), default="hrms"
     )
     compile_parser.add_argument(
         "--policy", choices=("lt", "lt_traf"), default="lt_traf",
@@ -285,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument(
         "--stage-pass", action="store_true",
         help="run the stage-scheduling post-pass on the result",
+    )
+    compile_parser.add_argument(
+        "--json", action="store_true",
+        help="also print the CompilationResult as JSON",
     )
     compile_parser.add_argument(
         "--show", nargs="*", choices=_SHOW_CHOICES, metavar="SECTION",
@@ -303,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--size", type=int, default=24)
     suite_parser.add_argument("--registers", type=int, default=32)
     suite_parser.add_argument("--machine", default="P2L4")
+    suite_parser.add_argument(
+        "--scheduler", choices=tuple(scheduler_names()), default="hrms"
+    )
     suite_parser.set_defaults(func=_cmd_suite)
 
     sweep_parser = sub.add_parser(
@@ -319,14 +309,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--artifacts", nargs="+", metavar="NAME",
-        choices=("table1", "fig7", "fig8", "fig9"),
+        choices=("table1", "fig4", "fig7", "fig8", "fig9"),
         default=["table1", "fig8"],
         help="artifacts to regenerate (default: table1 fig8)",
     )
     sweep_parser.add_argument(
         "--machines", nargs="+", metavar="SPEC",
         default=["P1L4", "P2L4", "P2L6"],
-        help="machine filter: P1L4 P2L4 P2L6 or generic:UNITS:LATENCY",
+        help=f"machine filter: {' '.join(machine_names())}"
+        " or generic:UNITS:LATENCY",
+    )
+    sweep_parser.add_argument(
+        "--scheduler", choices=tuple(scheduler_names()), default="hrms",
+        help="modulo scheduler every cell runs on (default hrms)",
     )
     sweep_parser.add_argument(
         "--budgets", nargs="+", type=int, default=[64, 32], metavar="N",

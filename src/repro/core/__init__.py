@@ -1,5 +1,20 @@
 """Register-constrained software pipelining — the paper's contribution.
 
+.. deprecated::
+    The four per-method entry points exported here
+    (:func:`schedule_with_spilling`, :func:`schedule_increasing_ii`,
+    :func:`schedule_best_of_both`,
+    :func:`schedule_with_prescheduling_spill`) are kept as thin
+    compatibility shims.  New code should call
+    :func:`repro.api.compile_loop` with ``strategy="spill"`` /
+    ``"increase"`` / ``"combined"`` / ``"prespill"`` — one facade, one
+    :class:`~repro.api.CompilationResult` shape, pluggable through
+    :mod:`repro.core.registry`.  The implementations (and their result
+    dataclasses) live on unchanged in the submodules
+    (:mod:`repro.core.driver`, :mod:`repro.core.increase_ii`,
+    :mod:`repro.core.combined`, :mod:`repro.core.prespill`), which is
+    what the strategy registry wraps.
+
 Three ways to make a modulo-scheduled loop fit in the available register
 file:
 
@@ -13,6 +28,9 @@ file:
   spill II and keep the better loop.
 """
 
+import functools
+import warnings
+
 from repro.core.select import (
     SelectionPolicy,
     SpillCandidate,
@@ -20,12 +38,40 @@ from repro.core.select import (
     spill_candidates,
 )
 from repro.core.spill import SpillHome, apply_spill
-from repro.core.increase_ii import IncreaseIIResult, schedule_increasing_ii
-from repro.core.driver import SpillResult, schedule_with_spilling
-from repro.core.combined import CombinedResult, schedule_best_of_both
+from repro.core.increase_ii import IncreaseIIResult
+from repro.core.increase_ii import schedule_increasing_ii as _increase_impl
+from repro.core.driver import SpillResult
+from repro.core.driver import schedule_with_spilling as _spill_impl
+from repro.core.combined import CombinedResult
+from repro.core.combined import schedule_best_of_both as _combined_impl
+from repro.core.prespill import PreSpillResult
 from repro.core.prespill import (
-    PreSpillResult,
-    schedule_with_prescheduling_spill,
+    schedule_with_prescheduling_spill as _prespill_impl,
+)
+
+
+def _deprecated_shim(impl, strategy: str):
+    """Wrap a legacy entry point: same behaviour, plus a one-time
+    :class:`DeprecationWarning` pointing at the facade."""
+
+    @functools.wraps(impl)
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"repro.core.{impl.__name__} is deprecated; use"
+            f" repro.api.compile_loop(..., strategy={strategy!r})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    return shim
+
+
+schedule_with_spilling = _deprecated_shim(_spill_impl, "spill")
+schedule_increasing_ii = _deprecated_shim(_increase_impl, "increase")
+schedule_best_of_both = _deprecated_shim(_combined_impl, "combined")
+schedule_with_prescheduling_spill = _deprecated_shim(
+    _prespill_impl, "prespill"
 )
 
 __all__ = [

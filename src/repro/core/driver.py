@@ -26,7 +26,16 @@ from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 from repro.machine.machine import MachineConfig
 from repro.sched.base import Effort, ModuloScheduler, ScheduleError
-from repro.sched.cache import cached_mii, owned_schedule, schedule_memo
+from repro.sched.cache import (
+    cached_mii,
+    caching_enabled,
+    ddg_fingerprint,
+    machine_key,
+    owned_schedule,
+    schedule_memo,
+    scheduler_key,
+    spill_memo,
+)
 from repro.sched.hrms import HRMSScheduler
 from repro.sched.schedule import Schedule
 
@@ -91,8 +100,56 @@ def schedule_with_spilling(
 
     ``fuse`` / ``mark_non_spillable`` weaken the convergence safeguards for
     the ablation studies; leave them on for the paper's algorithm.
+
+    Whole runs are memoized in :func:`repro.sched.cache.spill_memo`,
+    keyed by graph content, machine, scheduler, budget and every option:
+    ``fig9`` and the combined method run this identical driver back to
+    back, and repeated sweeps re-run it per budget.  Hits hand out
+    caller-owned copies, so results stay freely mutable.
     """
     scheduler = scheduler or HRMSScheduler()
+    memo_key = None
+    if caching_enabled():
+        memo_key = (
+            ddg_fingerprint(ddg),
+            machine_key(machine),
+            scheduler_key(scheduler),
+            available,
+            policy.value,
+            multiple,
+            last_ii,
+            exact,
+            max_rounds,
+            fuse,
+            mark_non_spillable,
+        )
+        hit = spill_memo().get(memo_key, _owned_spill_result)
+        if hit is not None:
+            return hit
+    result = _run_spilling(
+        ddg, machine, available, scheduler, policy, multiple, last_ii,
+        exact, max_rounds, fuse, mark_non_spillable,
+    )
+    if memo_key is not None:
+        # Store a private copy: the returned result is caller-mutable,
+        # memo entries must never be.
+        spill_memo().put(memo_key, _owned_spill_result(result))
+    return result
+
+
+def _run_spilling(
+    ddg: DDG,
+    machine: MachineConfig,
+    available: int,
+    scheduler: ModuloScheduler,
+    policy: SelectionPolicy,
+    multiple: bool,
+    last_ii: bool,
+    exact: bool,
+    max_rounds: int,
+    fuse: bool,
+    mark_non_spillable: bool,
+) -> SpillResult:
     started = time.perf_counter()
     work = ddg.copy()
     effort = Effort()
@@ -204,3 +261,34 @@ def schedule_with_spilling(
 #: must not alias them, or one caller mutating its result (its times, or
 #: its graph via further spilling) would corrupt every other caller's.
 _owned = owned_schedule
+
+
+def _owned_spill_result(result: SpillResult) -> SpillResult:
+    """A caller-owned copy of a (possibly memo-stored) driver result.
+
+    The schedule and graph are deep-copied (callers mutate both);
+    ``rounds`` entries and the report are treated as read-only and
+    shared.  When the result's graph *is* the schedule's graph (the
+    converged case) that aliasing is preserved in the copy.
+    """
+    schedule = owned_schedule(result.schedule)
+    if result.ddg is None:
+        ddg = None
+    elif result.schedule is not None and result.ddg is result.schedule.ddg:
+        ddg = schedule.ddg
+    else:
+        ddg = result.ddg.copy()
+    return SpillResult(
+        converged=result.converged,
+        reason=result.reason,
+        schedule=schedule,
+        report=result.report,
+        ddg=ddg,
+        rounds=list(result.rounds),
+        spilled=list(result.spilled),
+        effort=Effort(
+            placements=result.effort.placements,
+            attempts=result.effort.attempts,
+        ),
+        wall_seconds=result.wall_seconds,
+    )

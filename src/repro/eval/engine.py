@@ -29,100 +29,76 @@ kind       payload
 =========  ============================================================
 ideal      ii, stage_count, registers, cycles, traffic
 table1     ideal_cycles, ideal_registers, needs_reduction, failed
+fig4       trail: [[ii, registers], ...]
 fig7       rows: [spilled, ii, mii, registers, bus_pct]
 fig8       ideal_cycles, ideal_traffic, cycles, traffic, attempts,
            placements, failed, spilled
 fig9       included, ideal/inc/spill/best cycles
 spill      converged, ii, reschedules, registers, memory_ops, spilled
 =========  ============================================================
+
+Cell evaluation runs on the :func:`repro.api.compile_loop` facade:
+machine specs resolve through :mod:`repro.machine.specs`, schedulers
+through :mod:`repro.sched.registry` and register-pressure strategies
+through :mod:`repro.core.registry` — the engine keeps no lookup tables
+of its own, so a newly registered scheduler or strategy is immediately
+sweepable.
 """
 
 from __future__ import annotations
 
 import atexit
 import json
-import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.combined import schedule_best_of_both
-from repro.core.driver import schedule_with_spilling
-from repro.core.increase_ii import schedule_increasing_ii
 from repro.core.select import SelectionPolicy
 from repro.eval.metrics import executed_cycles, memory_traffic
 from repro.graph.builder import ddg_from_source
 from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import register_requirements
-from repro.machine.machine import (
-    MachineConfig,
-    generic_machine,
-    p1l4,
-    p2l4,
-    p2l6,
-)
+from repro.machine.machine import MachineConfig
+from repro.machine.specs import machine_spec, resolve_machine
 from repro.sched.base import ModuloScheduler
 from repro.sched.cache import STATS, CacheStats, schedule_memo
-from repro.sched.hrms import HRMSScheduler
-from repro.sched.ims import IMSScheduler
 from repro.sched.schedule import Schedule
-from repro.sched.swing import SwingScheduler
 from repro.workloads.suite import Workload
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "EngineRun",
+    "SweepReport",
+    "evaluate_cell",
+    "machine_spec",
+    "pack_options",
+    "resolve_machine",
+    "run_cells",
+    "run_sweep",
+    "scheduler_name",
+    "shutdown_pool",
+    "workload_cells",
+]
 
 JSON_SCHEMA = "repro.sweep/1"
 
-_SCHEDULERS: dict[str, type[ModuloScheduler]] = {
-    cls.name: cls for cls in (HRMSScheduler, IMSScheduler, SwingScheduler)
-}
-
-_PAPER_MACHINES = {"P1L4": p1l4, "P2L4": p2l4, "P2L6": p2l6}
-_GENERIC_NAME = re.compile(r"^G(\d+)L(\d+)$")
-
 
 # ----------------------------------------------------------------------
-# machine / scheduler specs (picklable cell fields)
-def machine_spec(machine: MachineConfig) -> str:
-    """Serialize a machine to a spec string a worker can resolve."""
-    if machine.name in _PAPER_MACHINES:
-        return machine.name
-    if machine.generic:
-        from repro.ir.operations import FuClass, Opcode
-
-        units = machine.fu_counts.get(FuClass.GENERIC, 0)
-        return f"generic:{units}:{machine.latency(Opcode.ADD)}"
-    raise ValueError(
-        f"machine {machine.name!r} has no spec; use the paper"
-        " configurations or generic machines"
-    )
-
-
-def resolve_machine(spec: str) -> MachineConfig:
-    """Inverse of :func:`machine_spec`; also accepts ``G4L2`` names."""
-    if spec.upper() in _PAPER_MACHINES:
-        return _PAPER_MACHINES[spec.upper()]()
-    named = _GENERIC_NAME.match(spec)
-    if named:
-        return generic_machine(int(named.group(1)), int(named.group(2)))
-    if spec.lower().startswith("generic"):
-        parts = spec.split(":")
-        units = int(parts[1]) if len(parts) > 1 else 4
-        latency = int(parts[2]) if len(parts) > 2 else 2
-        return generic_machine(units, latency)
-    raise ValueError(f"unknown machine spec {spec!r}")
-
-
-def scheduler_name(scheduler: ModuloScheduler | None) -> str:
+# scheduler specs (picklable cell fields); machine specs come from
+# repro.machine.specs and are re-exported above for compatibility
+def scheduler_name(scheduler: ModuloScheduler | str | None) -> str:
+    """Canonical registry name a worker process can resolve back."""
+    from repro.sched import registry
     from repro.sched.cache import scheduler_config
 
-    scheduler = scheduler or HRMSScheduler()
-    name = scheduler.name
-    if name not in _SCHEDULERS:
-        raise ValueError(
-            f"scheduler {name!r} cannot run in engine workers; known:"
-            f" {sorted(_SCHEDULERS)}"
-        )
+    if scheduler is None:
+        return "hrms"
+    if isinstance(scheduler, str):
+        return registry.canonical_name(scheduler)
+    name = registry.canonical_name(scheduler)
     config = scheduler_config(scheduler)
-    if config != scheduler_config(_SCHEDULERS[name]()):
+    if config != scheduler_config(registry.get_scheduler_class(name)()):
         # cells carry only the name; a worker would silently rebuild the
         # default configuration, diverging from the caller's intent
         raise ValueError(
@@ -145,7 +121,7 @@ class Cell:
     machine: str
     budget: int = 0
     variant: str = ""
-    scheduler: str = "HRMS"
+    scheduler: str = "hrms"
     options: tuple[tuple[str, object], ...] = ()
 
     def sort_key(self) -> tuple:
@@ -230,6 +206,23 @@ def _ideal_outcome(
     return schedule, register_requirements(schedule).total
 
 
+def _cell_compile(cell: Cell, strategy: str, options: dict | None = None):
+    """Run one cell leg through the :func:`repro.api.compile_loop`
+    facade: every strategy comes back as the same
+    :class:`~repro.api.CompilationResult` shape, so the evaluators below
+    contain no per-driver result-type special-casing."""
+    from repro.api import compile_loop
+
+    return compile_loop(
+        _cell_ddg(cell),
+        machine=cell.machine,
+        scheduler=cell.scheduler,
+        strategy=strategy,
+        registers=cell.budget,
+        options=options,
+    )
+
+
 # ----------------------------------------------------------------------
 # cell evaluation
 def evaluate_cell(cell: Cell) -> CellResult:
@@ -245,10 +238,18 @@ def evaluate_cell(cell: Cell) -> CellResult:
     )
 
 
+def _cell_context(cell: Cell):
+    from repro.sched.registry import create_scheduler
+
+    return (
+        _cell_ddg(cell),
+        resolve_machine(cell.machine),
+        create_scheduler(cell.scheduler),
+    )
+
+
 def _eval_ideal(cell: Cell) -> dict:
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
+    ddg, machine, scheduler = _cell_context(cell)
     schedule, registers = _ideal_outcome(ddg, machine, scheduler)
     return {
         "ii": schedule.ii,
@@ -260,9 +261,7 @@ def _eval_ideal(cell: Cell) -> dict:
 
 
 def _eval_table1(cell: Cell) -> dict:
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
+    ddg, machine, scheduler = _cell_context(cell)
     schedule, registers = _ideal_outcome(ddg, machine, scheduler)
     data = {
         "ideal_cycles": executed_cycles(schedule, cell.weight),
@@ -271,46 +270,55 @@ def _eval_table1(cell: Cell) -> dict:
         "failed": False,
     }
     if data["needs_reduction"]:
-        outcome = schedule_increasing_ii(
-            ddg,
-            machine,
-            cell.budget,
-            scheduler=scheduler,
-            patience=int(cell.option("patience", 10)),
+        outcome = _cell_compile(
+            cell, "increase",
+            {"patience": int(cell.option("patience", 10))},
         )
         data["failed"] = not outcome.converged
     return data
 
 
-def _eval_fig7(cell: Cell) -> dict:
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
-    run = schedule_with_spilling(
-        ddg,
-        machine,
-        cell.budget,
-        scheduler=scheduler,
-        policy=SelectionPolicy(cell.option("policy", "max_lt")),
-        multiple=False,
-        last_ii=False,
+def _eval_fig4(cell: Cell) -> dict:
+    """One long II sweep down to an impossible budget: the whole
+    registers-vs-II curve of Figure 4 in one compile."""
+    run = _cell_compile(
+        cell, "increase",
+        {
+            "patience": int(cell.option("patience", 18)),
+            "max_ii": int(cell.option("max_ii", 120)),
+            "stop_on_certificate": False,
+        },
     )
+    return {
+        "trail": [[row["ii"], row["registers"]] for row in run.trace],
+    }
+
+
+def _eval_fig7(cell: Cell) -> dict:
+    run = _cell_compile(
+        cell, "spill",
+        {
+            "policy": cell.option("policy", "max_lt"),
+            "multiple": False,
+            "last_ii": False,
+        },
+    )
+    machine = resolve_machine(cell.machine)
     buses = machine.memory_units()
     rows = []
     spilled_so_far = 0
-    for entry in run.rounds:
-        bus = 100.0 * entry.memory_ops / (buses * entry.ii)
+    for entry in run.trace:
+        bus = 100.0 * entry["memory_ops"] / (buses * entry["ii"])
         rows.append(
-            [spilled_so_far, entry.ii, entry.mii, entry.registers, bus]
+            [spilled_so_far, entry["ii"], entry["mii"],
+             entry["registers"], bus]
         )
-        spilled_so_far += len(entry.spilled_values)
+        spilled_so_far += len(entry["spilled"])
     return {"rows": rows, "converged": run.converged}
 
 
 def _eval_fig8(cell: Cell) -> dict:
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
+    ddg, machine, scheduler = _cell_context(cell)
     schedule, registers = _ideal_outcome(ddg, machine, scheduler)
     ideal_cycles = executed_cycles(schedule, cell.weight)
     ideal_traffic = memory_traffic(ddg, cell.weight)
@@ -327,17 +335,14 @@ def _eval_fig8(cell: Cell) -> dict:
     }
     if registers <= cell.budget:
         return data
-    run = schedule_with_spilling(
-        ddg, machine, cell.budget, scheduler=scheduler,
-        **cell.spill_options(),
-    )
+    run = _cell_compile(cell, "spill", dict(cell.spill_options()))
     final = run.schedule if run.schedule is not None else schedule
     final_ddg = run.ddg if run.ddg is not None else ddg
     data.update(
         cycles=executed_cycles(final, cell.weight),
         traffic=memory_traffic(final_ddg, cell.weight),
-        attempts=run.effort.attempts,
-        placements=run.effort.placements,
+        attempts=run.attempts,
+        placements=run.placements,
         failed=0 if run.converged else 1,
         spilled=len(run.spilled),
     )
@@ -345,9 +350,7 @@ def _eval_fig8(cell: Cell) -> dict:
 
 
 def _eval_fig9(cell: Cell) -> dict:
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
+    ddg, machine, scheduler = _cell_context(cell)
     schedule, registers = _ideal_outcome(ddg, machine, scheduler)
     data = {
         "included": False,
@@ -358,17 +361,11 @@ def _eval_fig9(cell: Cell) -> dict:
     }
     if registers <= cell.budget:
         return data
-    inc = schedule_increasing_ii(
-        ddg, machine, cell.budget, scheduler=scheduler
-    )
+    inc = _cell_compile(cell, "increase")
     if not inc.converged:
         return data  # the paper's comparison excludes these
-    spill = schedule_with_spilling(
-        ddg, machine, cell.budget, scheduler=scheduler
-    )
-    best = schedule_best_of_both(
-        ddg, machine, cell.budget, scheduler=scheduler
-    )
+    spill = _cell_compile(cell, "spill")
+    best = _cell_compile(cell, "combined")
     spill_schedule = spill.schedule or inc.schedule
     best_schedule = best.schedule or spill_schedule
     data.update(
@@ -383,18 +380,7 @@ def _eval_fig9(cell: Cell) -> dict:
 
 def _eval_spill(cell: Cell) -> dict:
     """Generic spilling-driver cell (ablation benchmarks)."""
-    ddg = _cell_ddg(cell)
-    machine = resolve_machine(cell.machine)
-    scheduler = _SCHEDULERS[cell.scheduler]()
-    run = schedule_with_spilling(
-        ddg, machine, cell.budget, scheduler=scheduler,
-        **cell.spill_options(),
-    )
-    registers = (
-        register_requirements(run.schedule).total
-        if run.schedule is not None
-        else None
-    )
+    run = _cell_compile(cell, "spill", dict(cell.spill_options()))
     valid = run.schedule is not None
     if valid:
         try:
@@ -404,13 +390,13 @@ def _eval_spill(cell: Cell) -> dict:
             valid = False
     return {
         "converged": run.converged,
-        "ii": run.final_ii,
-        "reschedules": run.reschedules,
-        "registers": registers,
+        "ii": run.ii,
+        "reschedules": len(run.trace),
+        "registers": run.registers_used if run.schedule is not None else None,
         "memory_ops": run.memory_ops,
         "spilled": len(run.spilled),
-        "attempts": run.effort.attempts,
-        "placements": run.effort.placements,
+        "attempts": run.attempts,
+        "placements": run.placements,
         "valid": valid,
     }
 
@@ -418,6 +404,7 @@ def _eval_spill(cell: Cell) -> dict:
 _EVALUATORS = {
     "ideal": _eval_ideal,
     "table1": _eval_table1,
+    "fig4": _eval_fig4,
     "fig7": _eval_fig7,
     "fig8": _eval_fig8,
     "fig9": _eval_fig9,
@@ -556,7 +543,8 @@ class SweepReport:
             f" {self.run.seconds:.2f}s wall;"
             f" cache hits/misses: schedule {cache.schedule_hits}"
             f"/{cache.schedule_misses}, MII {cache.mii_hits}"
-            f"/{cache.mii_misses}"
+            f"/{cache.mii_misses}, spill runs {cache.spill_hits}"
+            f"/{cache.spill_misses}"
         )
 
     def to_json(self) -> dict:
@@ -584,6 +572,18 @@ class SweepReport:
 def _artifact_json(name: str, result) -> dict:
     if name == "table1":
         return {"rows": [list(row) for row in result.rows]}
+    if name == "fig4":
+        return {
+            "machine": result.machine,
+            "trails": {
+                loop: [list(point) for point in trail]
+                for loop, trail in result.trails.items()
+            },
+            "converged": {
+                loop: {str(budget): ii for budget, ii in budgets.items()}
+                for loop, budgets in result.converged.items()
+            },
+        }
     if name == "fig7":
         return {"machine": result.machine, "rounds": result.rounds}
     if name == "fig8":
@@ -618,9 +618,12 @@ def run_sweep(
         "table1": lambda: experiments.run_table1(
             suite, machines, budgets, scheduler=scheduler, jobs=jobs
         ),
-        # fig7 is a single-machine trajectory: it follows the first
-        # machine filter and its own register target, not the sweep
+        # fig4 and fig7 are single-machine curves: they follow the first
+        # machine filter and their own register targets, not the sweep
         # budgets.
+        "fig4": lambda: experiments.run_fig4(
+            machine=machines[0], scheduler=scheduler, jobs=jobs
+        ),
         "fig7": lambda: experiments.run_fig7(
             machine=machines[0], scheduler=scheduler, jobs=jobs
         ),

@@ -21,13 +21,7 @@ from repro.core.select import SelectionPolicy
 from repro.eval.reporting import format_table
 from repro.machine.machine import MachineConfig, paper_configurations
 from repro.sched.base import ModuloScheduler
-from repro.sched.hrms import HRMSScheduler
-from repro.workloads.apsi import (
-    apsi47_like,
-    apsi47_source,
-    apsi50_like,
-    apsi50_source,
-)
+from repro.workloads.apsi import apsi47_source, apsi50_source
 from repro.workloads.suite import Workload, perfect_club_like_suite
 
 #: Figure 8's heuristic variants, in the paper's order.
@@ -116,6 +110,8 @@ class Fig4Result:
     trails: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
     converged: dict[str, dict[int, int | None]] = field(default_factory=dict)
     # loop -> {budget: II reached or None}
+    machine: str = ""
+    engine_run: object | None = field(default=None, repr=False)
 
     def render(self) -> str:
         blocks = []
@@ -142,29 +138,45 @@ def run_fig4(
     budgets: tuple[int, ...] = (32, 16),
     scheduler: ModuloScheduler | None = None,
     max_ii: int = 120,
+    jobs: int = 1,
 ) -> Fig4Result:
-    from repro.core.increase_ii import schedule_increasing_ii
+    from repro.eval.engine import (
+        Cell,
+        machine_spec,
+        run_cells,
+        scheduler_name,
+    )
 
     machine = machine or paper_configurations()[1]  # P2L4
-    scheduler = scheduler or HRMSScheduler()
-    result = Fig4Result()
-    for ddg in (apsi47_like(), apsi50_like()):
-        # One long sweep (down to an impossible budget) yields the whole
-        # registers-vs-II curve.
-        sweep = schedule_increasing_ii(
-            ddg,
-            machine,
-            available=1,
-            scheduler=scheduler,
-            patience=18,
-            max_ii=max_ii,
-            stop_on_certificate=False,
+    # One long sweep per loop (down to an impossible budget, so budget=1)
+    # yields the whole registers-vs-II curve; the per-budget convergence
+    # notes are read off the shared trail.
+    cells = [
+        Cell(
+            kind="fig4",
+            workload=name,
+            source=source,
+            weight=1,
+            machine=machine_spec(machine),
+            budget=1,
+            scheduler=scheduler_name(scheduler),
+            options=(("max_ii", max_ii), ("patience", 18)),
         )
-        result.trails[ddg.name] = sweep.trail
-        result.converged[ddg.name] = {}
+        for name, source in (
+            ("apsi47_like", apsi47_source()),
+            ("apsi50_like", apsi50_source()),
+        )
+    ]
+    run = run_cells(cells, jobs=jobs)
+    result = Fig4Result(machine=machine.name, engine_run=run)
+    for cell_result in run.results:
+        trail = [tuple(point) for point in cell_result.data["trail"]]
+        name = cell_result.cell.workload
+        result.trails[name] = trail
+        result.converged[name] = {}
         for budget in budgets:
-            fitting = [ii for ii, regs in sweep.trail if regs <= budget]
-            result.converged[ddg.name][budget] = min(fitting) if fitting else None
+            fitting = [ii for ii, regs in trail if regs <= budget]
+            result.converged[name][budget] = min(fitting) if fitting else None
     return result
 
 

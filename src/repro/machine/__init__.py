@@ -18,13 +18,21 @@ from repro.machine.machine import (
     paper_configurations,
 )
 from repro.machine.mrt import ModuloReservationTable
+from repro.machine.specs import (
+    machine_names,
+    machine_spec,
+    resolve_machine,
+)
 
 __all__ = [
     "MachineConfig",
     "ModuloReservationTable",
     "generic_machine",
+    "machine_names",
+    "machine_spec",
     "p1l4",
     "p2l4",
     "p2l6",
     "paper_configurations",
+    "resolve_machine",
 ]

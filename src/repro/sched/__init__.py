@@ -18,7 +18,9 @@ from repro.sched.cache import (
     ddg_fingerprint,
     machine_key,
     schedule_memo,
+    spill_memo,
 )
+from repro.sched import registry
 from repro.sched.mii import compute_mii, rec_mii, res_mii
 from repro.sched.schedule import Schedule
 from repro.sched.hrms import HRMSScheduler
@@ -43,6 +45,8 @@ __all__ = [
     "machine_key",
     "rec_mii",
     "reduce_stages",
+    "registry",
     "res_mii",
     "schedule_memo",
+    "spill_memo",
 ]

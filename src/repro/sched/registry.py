@@ -1,0 +1,126 @@
+"""Scheduler registry.
+
+One lookup table for every layer that names a modulo scheduler — the
+CLI's ``--scheduler`` flags, the experiment engine's picklable cells and
+the :func:`repro.api.compile_loop` facade all resolve names here instead
+of keeping private dicts.
+
+The built-in schedulers register under their canonical (lowercase)
+names: ``hrms``, ``ims``, ``swing``.  Third-party schedulers join with
+the :func:`register` decorator::
+
+    from repro.sched.base import ModuloScheduler
+    from repro.sched.registry import register
+
+    @register("myscheduler")
+    class MyScheduler(ModuloScheduler):
+        name = "MySched"
+        ...
+
+    compile_loop(src, scheduler="myscheduler", ...)
+
+Lookups are case-insensitive (``"HRMS"`` and ``"hrms"`` are the same
+entry).  Note that experiment-engine *worker processes* rebuild the
+registry from imports, so schedulers registered at runtime are only
+visible to ``jobs=1`` runs unless the registering module is imported by
+the workers too.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import ModuloScheduler
+
+_REGISTRY: dict[str, type[ModuloScheduler]] = {}
+
+
+def register(name: str | None = None, *, replace: bool = False):
+    """Class decorator adding a :class:`ModuloScheduler` to the registry
+    under *name* (default: the class's ``name`` attribute, lowercased).
+
+    Raises :class:`ValueError` on a duplicate name unless *replace*.
+    """
+
+    def _register(cls: type[ModuloScheduler]) -> type[ModuloScheduler]:
+        key = (name or cls.name).lower()
+        if not replace and key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise ValueError(
+                f"scheduler {key!r} is already registered"
+                f" ({_REGISTRY[key].__name__}); pass replace=True to"
+                " override"
+            )
+        _REGISTRY[key] = cls
+        return cls
+
+    return _register
+
+
+def unregister(name: str) -> None:
+    """Remove a registry entry (mainly for tests of custom schedulers)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def scheduler_names() -> list[str]:
+    """All registered scheduler names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scheduler_class(name: str) -> type[ModuloScheduler]:
+    """Look up a scheduler class by (case-insensitive) name."""
+    cls = _REGISTRY.get(name.lower())
+    if cls is None:
+        raise ValueError(
+            f"unknown scheduler {name!r}"
+            f" (registered: {', '.join(scheduler_names())})"
+        )
+    return cls
+
+
+def create_scheduler(
+    spec: str | ModuloScheduler | type[ModuloScheduler],
+) -> ModuloScheduler:
+    """Resolve *spec* into a scheduler instance.
+
+    Accepts a registered name, an already-constructed scheduler (passed
+    through unchanged, configuration and all), or a scheduler class.
+    """
+    if isinstance(spec, ModuloScheduler):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, ModuloScheduler):
+        return spec()
+    if isinstance(spec, str):
+        return get_scheduler_class(spec)()
+    raise ValueError(
+        f"scheduler must be a name, instance or class, not"
+        f" {type(spec).__name__}"
+    )
+
+
+def canonical_name(
+    spec: str | ModuloScheduler | type[ModuloScheduler],
+) -> str:
+    """The registry name of *spec* (for cache keys, cells and JSON)."""
+    if isinstance(spec, str):
+        get_scheduler_class(spec)  # validate
+        return spec.lower()
+    cls = spec if isinstance(spec, type) else type(spec)
+    for key, registered in _REGISTRY.items():
+        if registered is cls:
+            return key
+    raise ValueError(
+        f"scheduler class {cls.__name__} is not registered"
+        f" (registered: {', '.join(scheduler_names())})"
+    )
+
+
+# ----------------------------------------------------------------------
+# built-ins
+def _register_builtins() -> None:
+    from repro.sched.hrms import HRMSScheduler
+    from repro.sched.ims import IMSScheduler
+    from repro.sched.swing import SwingScheduler
+
+    for cls in (HRMSScheduler, IMSScheduler, SwingScheduler):
+        register(replace=True)(cls)
+
+
+_register_builtins()

@@ -1,0 +1,404 @@
+"""Tests for the unified compilation pipeline API (:mod:`repro.api`),
+the scheduler/strategy registries, the centralized machine-spec parser,
+and the spilling-driver memo."""
+
+import json
+
+import pytest
+
+from repro.api import CompilationResult, Pipeline, compile_loop
+from repro.core import registry as strategy_registry
+from repro.core.driver import schedule_with_spilling
+from repro.core.increase_ii import schedule_increasing_ii
+from repro.core.prespill import schedule_with_prescheduling_spill
+from repro.machine.specs import machine_spec, resolve_machine
+from repro.sched import cache as sched_cache
+from repro.sched import registry as sched_registry
+from repro.sched.hrms import HRMSScheduler
+
+FIG2 = "x[i] = y[i]*a + y[i-3]"
+MACHINE = "generic:4:2"
+
+
+class TestCompileLoopCombos:
+    @pytest.mark.parametrize("scheduler", ["hrms", "ims", "swing"])
+    @pytest.mark.parametrize(
+        "strategy", ["spill", "increase", "prespill", "combined", "none"]
+    )
+    def test_every_scheduler_strategy_combo(self, scheduler, strategy):
+        result = compile_loop(
+            FIG2, machine=MACHINE, scheduler=scheduler,
+            strategy=strategy, registers=32,
+        )
+        assert result.converged, (scheduler, strategy, result.reason)
+        assert result.status == "ok"
+        assert result.scheduler == scheduler
+        assert result.strategy == strategy
+        assert result.machine == MACHINE
+        assert result.ii >= result.mii >= 1
+        assert result.registers_used <= 32
+        assert result.schedule is not None
+        result.schedule.validate()
+
+    def test_accepts_ddg_machineconfig_and_scheduler_instance(self):
+        from repro.graph import ddg_from_source
+        from repro.machine import generic_machine
+
+        loop = ddg_from_source(FIG2, name="fig2")
+        result = compile_loop(
+            loop, machine=generic_machine(4, 2),
+            scheduler=HRMSScheduler(), strategy="spill", registers=6,
+        )
+        assert result.converged
+        assert result.loop == "fig2"
+        assert "Ld_y" in result.spilled
+
+    def test_none_strategy_unconstrained(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="none", registers=None,
+        )
+        assert result.converged
+        assert result.registers is None
+        assert result.registers_used > 0
+
+    def test_render_mentions_verdict_and_spills(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="spill", registers=6,
+        )
+        text = result.render()
+        assert "ok" in text
+        assert f"II={result.ii}" in text
+        assert "Ld_y" in text
+
+    def test_render_failure(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="spill", registers=1,
+        )
+        assert not result.converged
+        assert "DID NOT FIT" in result.render()
+
+
+class TestLegacyEquivalence:
+    """The facade must report exactly what the legacy entry points
+    compute (the drivers run uncached here, so this also checks the
+    spill memo is semantically transparent)."""
+
+    def test_spill_equivalence(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="spill", registers=6,
+        )
+        with sched_cache.disabled():
+            legacy = schedule_with_spilling(_fig2(), _machine(), 6)
+        assert result.converged == legacy.converged
+        assert result.ii == legacy.schedule.ii
+        assert result.registers_used == legacy.report.total
+        assert list(result.spilled) == legacy.spilled
+        assert len(result.trace) == len(legacy.rounds)
+        assert result.memory_ops == legacy.ddg.memory_node_count()
+
+    def test_increase_equivalence(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="increase", registers=8,
+        )
+        with sched_cache.disabled():
+            legacy = schedule_increasing_ii(_fig2(), _machine(), 8)
+        assert result.converged == legacy.converged
+        assert result.ii == legacy.schedule.ii
+        assert result.registers_used == legacy.report.total
+        assert [
+            (row["ii"], row["registers"]) for row in result.trace
+        ] == legacy.trail
+
+    def test_prespill_equivalence(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="prespill", registers=32,
+        )
+        with sched_cache.disabled():
+            legacy = schedule_with_prescheduling_spill(
+                _fig2(), _machine(), 32
+            )
+        assert result.converged == legacy.converged
+        assert result.ii == legacy.schedule.ii
+        assert result.details["base_mii"] == legacy.mii
+
+    def test_combined_equivalence(self):
+        from repro.core.combined import schedule_best_of_both
+
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="combined", registers=6,
+        )
+        with sched_cache.disabled():
+            legacy = schedule_best_of_both(_fig2(), _machine(), 6)
+        assert result.converged == legacy.converged
+        assert result.ii == legacy.schedule.ii
+        assert result.details["method"] == legacy.method
+
+
+def _fig2():
+    from repro.graph import ddg_from_source
+
+    return ddg_from_source(FIG2, name="loop")
+
+
+def _machine():
+    return resolve_machine(MACHINE)
+
+
+class TestErrorPaths:
+    def test_unknown_machine(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            compile_loop(FIG2, machine="VAX780")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            compile_loop(FIG2, machine=MACHINE, scheduler="listsched")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            compile_loop(FIG2, machine=MACHINE, strategy="anneal")
+
+    def test_unknown_option(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            compile_loop(
+                FIG2, machine=MACHINE, strategy="spill",
+                options={"patience": 3},
+            )
+
+    def test_budget_required_unless_none_strategy(self):
+        with pytest.raises(ValueError, match="register budget"):
+            compile_loop(
+                FIG2, machine=MACHINE, strategy="spill", registers=None,
+            )
+
+    def test_bad_source_type(self):
+        with pytest.raises(ValueError, match="mini-language source"):
+            compile_loop(42, machine=MACHINE)
+
+
+class TestJsonRoundTrip:
+    def test_to_json_is_json_safe_and_round_trips(self):
+        result = compile_loop(
+            FIG2, machine=MACHINE, strategy="spill", registers=6,
+        )
+        document = result.to_json()
+        assert json.loads(json.dumps(document)) == document
+        rebuilt = CompilationResult.from_json(document)
+        assert rebuilt.to_json() == document
+        assert rebuilt.converged == result.converged
+        assert rebuilt.spilled == result.spilled
+
+    def test_from_json_rejects_other_schemas(self):
+        with pytest.raises(ValueError, match="schema"):
+            CompilationResult.from_json({"schema": "nope/9"})
+
+
+class TestRegistries:
+    def test_declared_strategy_options(self):
+        assert "policy" in strategy_registry.strategy_options("spill")
+        assert "policy" in strategy_registry.strategy_options("combined")
+        assert "policy" not in strategy_registry.strategy_options("increase")
+        with pytest.raises(ValueError, match="unknown strategy"):
+            strategy_registry.strategy_options("anneal")
+
+    def test_builtin_names(self):
+        assert sched_registry.scheduler_names() == ["hrms", "ims", "swing"]
+        assert strategy_registry.strategy_names() == [
+            "combined", "increase", "none", "prespill", "spill",
+        ]
+
+    def test_case_insensitive_lookup(self):
+        assert (
+            sched_registry.get_scheduler_class("HRMS")
+            is sched_registry.get_scheduler_class("hrms")
+        )
+
+    def test_third_party_scheduler_registration(self):
+        @sched_registry.register("hrms2")
+        class HRMS2(HRMSScheduler):
+            pass
+
+        try:
+            result = compile_loop(
+                FIG2, machine=MACHINE, scheduler="hrms2",
+                strategy="spill", registers=6,
+            )
+            assert result.converged
+            assert result.scheduler == "hrms2"
+        finally:
+            sched_registry.unregister("hrms2")
+        with pytest.raises(ValueError):
+            sched_registry.get_scheduler_class("hrms2")
+
+    def test_duplicate_scheduler_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            sched_registry.register("hrms")(type(
+                "Imposter", (HRMSScheduler,), {}
+            ))
+
+    def test_third_party_strategy_registration(self):
+        from repro.core.registry import StrategyOutcome
+        from repro.sched.base import Effort
+
+        @strategy_registry.register("giveup")
+        def _giveup(ddg, machine, scheduler, registers, options):
+            return StrategyOutcome(
+                converged=False, reason="gave up", schedule=None,
+                report=None, ddg=None, effort=Effort(),
+            )
+
+        try:
+            result = compile_loop(
+                FIG2, machine=MACHINE, strategy="giveup", registers=8,
+            )
+            assert result.status == "failed"
+            assert result.reason == "gave up"
+        finally:
+            strategy_registry.unregister("giveup")
+
+
+class TestMachineSpecs:
+    def test_round_trip_and_passthrough(self):
+        from repro.machine import generic_machine, p2l6
+
+        machine = p2l6()
+        assert resolve_machine(machine) is machine
+        assert resolve_machine(machine_spec(machine)).name == machine.name
+        generic = generic_machine(3, 5)
+        assert resolve_machine(machine_spec(generic)) == generic
+
+    def test_malformed_generic(self):
+        with pytest.raises(ValueError, match="malformed"):
+            resolve_machine("generic:four:2")
+
+
+class TestPipeline:
+    def test_repeated_compiles_share_caches(self):
+        sched_cache.clear()
+        pipeline = Pipeline(machine=MACHINE, strategy="spill", registers=6)
+        first = pipeline.compile(FIG2)
+        hits_before = sched_cache.STATS.spill_hits
+        second = pipeline.compile(FIG2)
+        assert sched_cache.STATS.spill_hits > hits_before
+        first_doc, second_doc = first.to_json(), second.to_json()
+        first_doc.pop("wall_seconds")
+        second_doc.pop("wall_seconds")
+        assert first_doc == second_doc
+
+    def test_per_call_overrides(self):
+        pipeline = Pipeline(machine=MACHINE, registers=32)
+        increase = pipeline.compile(FIG2, strategy="increase")
+        assert increase.strategy == "increase"
+        unconstrained = pipeline.compile(
+            FIG2, strategy="none", registers=None
+        )
+        assert unconstrained.registers is None
+
+    def test_compile_many(self):
+        pipeline = Pipeline(machine=MACHINE, registers=32)
+        results = pipeline.compile_many(
+            {"a": FIG2, "b": "z[i] = x[i] + y[i]"}
+        )
+        assert set(results) == {"a", "b"}
+        assert all(r.converged for r in results.values())
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            Pipeline(strategy="anneal")
+
+
+class TestSpillRunMemo:
+    def test_hit_returns_equal_owned_result(self):
+        sched_cache.clear()
+        machine = _machine()
+        ddg = _fig2()
+        first = schedule_with_spilling(ddg, machine, 6)
+        assert sched_cache.STATS.spill_misses == 1
+        second = schedule_with_spilling(ddg, machine, 6)
+        assert sched_cache.STATS.spill_hits == 1
+        assert second.converged == first.converged
+        assert second.schedule.ii == first.schedule.ii
+        assert second.spilled == first.spilled
+        assert [r.__dict__ for r in second.rounds] == [
+            r.__dict__ for r in first.rounds
+        ]
+        # results are caller-owned: mutating one leaves the other alone
+        assert second.schedule is not first.schedule
+        assert second.ddg is not first.ddg
+        first.schedule.times.clear()
+        first.ddg.nodes.clear()
+        third = schedule_with_spilling(ddg, machine, 6)
+        assert third.schedule.ii == second.schedule.ii
+        third.schedule.validate()
+        third.ddg.validate()
+
+    def test_different_options_miss(self):
+        sched_cache.clear()
+        machine = _machine()
+        ddg = _fig2()
+        schedule_with_spilling(ddg, machine, 6)
+        schedule_with_spilling(ddg, machine, 6, multiple=False)
+        assert sched_cache.STATS.spill_misses == 2
+
+    def test_disabled_bypasses_memo(self):
+        sched_cache.clear()
+        machine = _machine()
+        ddg = _fig2()
+        with sched_cache.disabled():
+            schedule_with_spilling(ddg, machine, 6)
+            schedule_with_spilling(ddg, machine, 6)
+        assert sched_cache.STATS.spill_hits == 0
+        assert sched_cache.STATS.spill_misses == 0
+
+
+class TestDeprecatedShims:
+    def test_core_entry_points_warn_and_delegate(self):
+        import repro.core as core
+
+        with pytest.warns(DeprecationWarning, match="compile_loop"):
+            result = core.schedule_with_spilling(_fig2(), _machine(), 6)
+        assert result.converged
+
+
+class TestEngineIntegration:
+    def test_fig4_through_engine_matches_legacy_shape(self):
+        from repro.eval.experiments import run_fig4
+        from repro.machine import p2l4
+
+        result = run_fig4(machine=p2l4(), jobs=1)
+        assert result.engine_run is not None
+        assert set(result.trails) == {"apsi47_like", "apsi50_like"}
+        assert result.trails["apsi47_like"][0][1] > 32
+        assert set(result.converged["apsi47_like"]) == {32, 16}
+        # jobs must not change the curves
+        again = run_fig4(machine=p2l4(), jobs=2)
+        assert again.trails == result.trails
+        assert again.converged == result.converged
+
+    def test_sweep_scheduler_axis_via_cli(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--size", "4", "--machines", "P2L4",
+            "--artifacts", "table1", "--scheduler", "swing",
+            "--budgets", "32", "--json-out", str(path),
+        ])
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert {cell["scheduler"] for cell in document["cells"]} == {"swing"}
+
+    def test_sweep_fig4_artifact_round_trips(self):
+        from repro.eval.engine import run_sweep
+        from repro.machine import p2l4
+        from repro.workloads import perfect_club_like_suite
+
+        report = run_sweep(
+            suite=perfect_club_like_suite(size=4),
+            machines=[p2l4()],
+            artifacts=("fig4",),
+        )
+        document = json.loads(report.to_json_text())
+        assert document == report.to_json()
+        trails = document["artifacts"]["fig4"]["trails"]
+        assert set(trails) == {"apsi47_like", "apsi50_like"}
+        assert all(trails.values())

@@ -70,6 +70,29 @@ class TestCompile:
         with pytest.raises(SystemExit):
             main(["compile", "-e", FIG2, "--machine", "VAX"])
 
+    def test_json_flag(self, capsys):
+        code = main([
+            "compile", "-e", FIG2, "--machine", "generic:4:2",
+            "--registers", "6", "--method", "spill", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"schema": "repro.compile/1"' in out
+        assert '"status": "ok"' in out
+
+    def test_json_flag_on_failure(self, capsys):
+        # the increase strategy's non-convergence certificate yields no
+        # schedule at all; the JSON document must still be printed
+        code = main([
+            "compile", "-e", FIG2, "--registers", "1",
+            "--method", "increase", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+        assert '"schema": "repro.compile/1"' in out
+        assert '"status": "failed"' in out
+
 
 class TestMII:
     def test_mii_output(self, capsys):
