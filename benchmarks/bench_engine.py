@@ -11,9 +11,16 @@ This benchmark times both paths on the same suite and asserts the cached
 engine is faster.  The baseline reimplements the seed's exact loop
 structure and runs under ``repro.sched.cache.disabled()`` so the new
 caches cannot help it.
+
+A second axis times the **persistent store** (:mod:`repro.sched.store`):
+a cold sweep writing a fresh ``--cache-dir`` versus the identical sweep
+re-run with the in-memory memos cleared, so every result must come off
+disk — the repeated-sweep scenario the store exists for.
 """
 
 import os
+import shutil
+import tempfile
 import time
 
 from repro.core.driver import schedule_with_spilling
@@ -139,3 +146,49 @@ def test_engine_beats_seed_serial_drivers(benchmark, suite, record):
     )
     # ... and the cached engine regenerates them faster.
     assert engine_seconds < seed_seconds, (engine_seconds, seed_seconds)
+
+
+# ----------------------------------------------------------------------
+def test_warm_store_beats_cold_sweep(benchmark, suite, record):
+    """Cold sweep (empty --cache-dir) vs the same sweep served from the
+    now-populated store with cold in-memory memos: the warm run must be
+    faster and byte-identical."""
+    machines = paper_configurations()
+    cache_dir = tempfile.mkdtemp(prefix="repro-store-bench-")
+
+    def sweep():
+        return run_sweep(
+            suite=suite, machines=machines, budgets=DEFAULT_BUDGETS,
+            artifacts=("table1", "fig8"), jobs=1, cache_dir=cache_dir,
+        )
+
+    try:
+        sched_cache.clear()
+        started = time.perf_counter()
+        cold = sweep()
+        cold_seconds = time.perf_counter() - started
+
+        sched_cache.clear()  # warm disk, cold memory: disk must serve
+        warm = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        warm_seconds = warm.run.seconds
+
+        assert warm.to_json_text() == cold.to_json_text()
+        cache = warm.run.cache
+        lookups = cache.store_hits + cache.store_misses
+        hit_pct = 100.0 * cache.store_hits / max(lookups, 1)
+        record(
+            "engine_store_warmup",
+            "Table 1 + Figure 8, persistent store (jobs=1)\n"
+            f"cold store: {cold_seconds:.2f}s\n"
+            f"warm store: {warm_seconds:.2f}s"
+            f"  ({cold_seconds / max(warm_seconds, 1e-9):.2f}x)\n"
+            f"store: {cache.store_hits}/{cache.store_misses}"
+            f" hits/misses ({hit_pct:.0f}% hits),"
+            f" schedule recomputes {cache.schedule_misses}",
+        )
+        assert cache.schedule_misses == 0
+        assert hit_pct > 90.0
+        # The point of the store: repeated sweeps get measurably faster.
+        assert warm_seconds < cold_seconds, (warm_seconds, cold_seconds)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

@@ -28,14 +28,24 @@ For repeated compilation (a compiler back-end, a service endpoint) use
 :class:`Pipeline`: it resolves machine/scheduler/strategy once, keeps a
 parsed-DDG cache, and — because it reuses one scheduler instance — every
 ``compile`` call shares the process-wide schedule/MII/spill memos in
-:mod:`repro.sched.cache`.
+:mod:`repro.sched.cache`.  Batches of requests go through
+:meth:`Pipeline.compile_many` (results in request order, optionally
+fanned over a process pool) or :meth:`Pipeline.serve_json` (a stream of
+``repro.compile/1`` JSON documents).
+
+Both entry points take ``cache=``: a directory path (or
+:class:`repro.sched.store.ScheduleStore`) activates the persistent
+cross-process cache for the call, so repeated compilations survive
+process restarts and are shared between pool workers.  See
+``docs/CACHING.md``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 
 from repro.core.registry import StrategyOutcome, get_strategy
 from repro.graph.builder import ddg_from_source
@@ -43,6 +53,7 @@ from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import RegisterReport
 from repro.machine.machine import MachineConfig
 from repro.machine.specs import machine_label, resolve_machine
+from repro.sched import store as sched_store
 from repro.sched.base import ModuloScheduler
 from repro.sched.cache import cached_mii
 from repro.sched.registry import canonical_name, create_scheduler
@@ -138,6 +149,8 @@ class CompilationResult:
         }
 
     def to_json_text(self) -> str:
+        """:meth:`to_json` serialized with sorted keys — stable text,
+        safe to byte-compare across runs and job counts."""
         return json.dumps(self.to_json(), indent=2, sort_keys=True)
 
     @classmethod
@@ -242,6 +255,7 @@ def compile_loop(
     registers: int | None = 32,
     options: dict | None = None,
     name: str = "loop",
+    cache: "sched_store.ScheduleStore | str | None" = None,
 ) -> CompilationResult:
     """Compile one loop under a register budget and return the unified
     :class:`CompilationResult`.
@@ -260,18 +274,31 @@ def compile_loop(
             /``last_ii`` for ``spill``, ``patience`` for ``increase``);
             unknown keys raise :class:`ValueError`.
         name: loop name when *source_or_ddg* is source text.
+        cache: a persistent-store directory (or
+            :class:`~repro.sched.store.ScheduleStore`) activated for
+            this call — schedules computed here are reused by any later
+            process pointed at the same directory.
 
     Raises :class:`ValueError` for unknown machine, scheduler, strategy
     or option names.
     """
-    return _run(
-        _as_ddg(source_or_ddg, name),
-        resolve_machine(machine),
-        create_scheduler(scheduler),
-        strategy,
-        registers,
-        options,
-    )
+    with _cache_context(cache):
+        return _run(
+            _as_ddg(source_or_ddg, name),
+            resolve_machine(machine),
+            create_scheduler(scheduler),
+            strategy,
+            registers,
+            options,
+        )
+
+
+def _cache_context(cache):
+    """``sched_store.using(cache)`` when a cache is given, else a no-op
+    (whatever store is already active stays active)."""
+    if cache is None:
+        return contextlib.nullcontext(sched_store.active_store())
+    return sched_store.using(cache)
 
 
 _UNSET = object()
@@ -286,6 +313,16 @@ class Pipeline:
     reused, all calls share the process-wide schedule/MII/spill memos in
     :mod:`repro.sched.cache` — compiling the same loop twice (or probing
     several budgets) does not reschedule from scratch.
+
+    With ``cache=`` (a directory path or a
+    :class:`~repro.sched.store.ScheduleStore`), every call additionally
+    reads and writes the persistent cross-process store: results survive
+    the process, and :meth:`compile_many` workers share them.
+
+    The batch surface — :meth:`compile_many` and :meth:`serve_json` — is
+    the service endpoint: a list of request mappings in, results (or
+    ``repro.compile/1`` JSON documents) out, in request order, with
+    ``jobs=N`` fanning the batch over a process pool.
     """
 
     def __init__(
@@ -295,6 +332,7 @@ class Pipeline:
         strategy: str = "combined",
         registers: int | None = 32,
         options: dict | None = None,
+        cache: "sched_store.ScheduleStore | str | None" = None,
     ) -> None:
         self.machine = resolve_machine(machine)
         self.scheduler = create_scheduler(scheduler)
@@ -302,6 +340,7 @@ class Pipeline:
         self.strategy = strategy.lower()
         self.registers = registers
         self.options = dict(options or {})
+        self.cache = sched_store.resolve_store(cache)
         self._ddg_cache: dict[tuple[str, str], DDG] = {}
 
     def ddg(self, source_or_ddg: str | DDG, name: str = "loop") -> DDG:
@@ -329,21 +368,154 @@ class Pipeline:
     ) -> CompilationResult:
         """Compile one loop with this pipeline's defaults, overriding
         any argument per call (``registers=None`` means unconstrained)."""
-        return _run(
-            self.ddg(source_or_ddg, name),
-            self.machine if machine is None else resolve_machine(machine),
-            self.scheduler if scheduler is None
-            else create_scheduler(scheduler),
-            self.strategy if strategy is None else strategy,
-            self.registers if registers is _UNSET else registers,
-            self.options if options is None else options,
+        with _cache_context(self.cache):
+            return _run(
+                self.ddg(source_or_ddg, name),
+                self.machine if machine is None else resolve_machine(machine),
+                self.scheduler if scheduler is None
+                else create_scheduler(scheduler),
+                self.strategy if strategy is None else strategy,
+                self.registers if registers is _UNSET else registers,
+                self.options if options is None else options,
+            )
+
+    # ------------------------------------------------------------------
+    # the batch / service surface
+    def _normalize_request(self, request: dict) -> dict:
+        """One request mapping → the full keyword set
+        :func:`_service_compile` runs, with pipeline defaults filled in.
+
+        Accepted keys: ``loop`` (required; source text or DDG), ``name``,
+        ``machine``, ``scheduler``, ``strategy``, ``registers``,
+        ``options``.  Anything else is an error — silently ignoring a
+        key would change the request's meaning.
+        """
+        request = dict(request)
+        if request.get("loop") is None:
+            raise ValueError("compilation request needs a 'loop' entry")
+        unknown = sorted(
+            set(request)
+            - {"loop", "name", "machine", "scheduler", "strategy",
+               "registers", "options"}
         )
+        if unknown:
+            raise ValueError(
+                f"unknown request key(s): {', '.join(map(repr, unknown))}"
+            )
+        # A key that is present but null means "use the pipeline
+        # default" (the natural JSON wire encoding) — except registers,
+        # where an explicit null means unconstrained, as in compile().
+        machine = request.get("machine")
+        scheduler = request.get("scheduler")
+        strategy = request.get("strategy")
+        options = request.get("options")
+        if strategy is not None:
+            get_strategy(strategy)  # fail fast, before any pool spin-up
+        return {
+            "loop": request["loop"],
+            "name": request.get("name") or "loop",
+            "machine": self.machine if machine is None
+            else resolve_machine(machine),
+            "scheduler": self.scheduler if scheduler is None
+            else create_scheduler(scheduler),
+            "strategy": self.strategy if strategy is None
+            else strategy.lower(),
+            "registers": request.get("registers", self.registers),
+            "options": dict(self.options if options is None else options),
+        }
+
+    def results(self, requests, jobs: int = 1):
+        """Lazily compile a batch, yielding one
+        :class:`CompilationResult` per request **in request order**.
+
+        Results are the deterministic service shape: the heavyweight
+        artifacts (``schedule``/``report``/``ddg``) and the
+        ``wall_seconds`` telemetry are stripped, so the stream is
+        identical whatever *jobs* is.  With ``jobs>1`` the batch fans
+        out over a process pool whose workers share this pipeline's
+        persistent store (or the process-wide active one).
+        """
+        normalized = [self._normalize_request(r) for r in requests]
+        if jobs <= 1 or len(normalized) <= 1:
+            # The store context must not be held across a yield: this
+            # is a generator, and a suspended (or abandoned) stream
+            # would leave the process-wide active store swapped.  Each
+            # request activates and restores it on its own.
+            for request in normalized:
+                with _cache_context(self.cache):
+                    result = _service_compile(request)
+                yield result
+            return
+        from repro.pool import worker_pool
+
+        with _cache_context(self.cache):
+            # The shared persistent pool (also the engine's) is keyed
+            # by (jobs, active store) and its workers inherit the store
+            # at creation — nothing to hold open while streaming.
+            pool = worker_pool(jobs)
+        # Executor.map streams results back in submission order.
+        yield from pool.map(_service_compile, normalized)
 
     def compile_many(
-        self, loops: dict[str, str | DDG], **overrides
-    ) -> dict[str, CompilationResult]:
-        """Compile a named batch; results keyed like the input."""
-        return {
-            name: self.compile(loop, name=name, **overrides)
-            for name, loop in loops.items()
-        }
+        self,
+        requests,
+        jobs: int = 1,
+        **overrides,
+    ):
+        """Compile a batch of requests.
+
+        Two input shapes are accepted:
+
+        * a **list of request mappings** (the service form) — each has a
+          ``loop`` plus optional ``name``/``machine``/``scheduler``/
+          ``strategy``/``registers``/``options`` overriding the pipeline
+          defaults.  Returns a ``list[CompilationResult]`` in request
+          order, identical for any *jobs* value (see :meth:`results`);
+        * a **dict of name → loop** (the original named-batch form) —
+          compiled serially with *overrides* applied to every loop,
+          returning ``dict[str, CompilationResult]`` with full
+          (heavyweight) results.
+        """
+        if isinstance(requests, dict):
+            if jobs != 1:
+                raise ValueError(
+                    "the named-batch (dict) form is serial; pass a list"
+                    " of request mappings to use jobs>1"
+                )
+            return {
+                name: self.compile(loop, name=name, **overrides)
+                for name, loop in requests.items()
+            }
+        if overrides:
+            raise ValueError(
+                "per-call overrides go inside each request mapping"
+                f" (got {sorted(overrides)})"
+            )
+        return list(self.results(requests, jobs=jobs))
+
+    def serve_json(self, requests, jobs: int = 1):
+        """Stream the batch as ``repro.compile/1`` JSON documents (one
+        dict per request, in request order) — the service endpoint's
+        wire format.  ``Pipeline(...).serve_json(reqs, jobs=4)`` is a
+        generator, so documents can be written out as they finish."""
+        for result in self.results(requests, jobs=jobs):
+            yield result.to_json()
+
+
+def _service_compile(request: dict) -> CompilationResult:
+    """Run one normalized batch request (possibly inside a pool worker)
+    and return the deterministic service shape of the result."""
+    result = _run(
+        _as_ddg(request["loop"], request["name"]),
+        request["machine"],
+        request["scheduler"],
+        request["strategy"],
+        request["registers"],
+        request["options"],
+    )
+    # The batch contract is determinism (jobs=1 == jobs=N, run-to-run
+    # byte-identical JSON), so per-request wall clock is dropped along
+    # with the unpicklable-in-spirit heavyweight artifacts.
+    return _dc_replace(
+        result, wall_seconds=0.0, schedule=None, report=None, ddg=None
+    )

@@ -31,6 +31,11 @@ Subcommands:
   machines × budgets × heuristic variants × ``--scheduler``, rendered
   tables on stdout and machine-readable JSON via ``--json-out``
   (deterministic for any ``--jobs`` value).
+
+``compile`` and ``sweep`` take ``--cache-dir DIR`` (default:
+``$REPRO_CACHE_DIR``): a persistent :mod:`repro.sched.store` directory
+shared by every worker process and every later run — a repeated sweep
+into the same directory is served from disk (see ``docs/CACHING.md``).
 """
 
 from __future__ import annotations
@@ -61,6 +66,23 @@ def _machine_from(args):
         return resolve_machine(args.machine)
     except ValueError as error:
         raise SystemExit(f"repro: {error}")
+
+
+def _cache_from(args):
+    """Resolve ``--cache-dir`` into a store up front, so a bad path (an
+    existing file, an unwritable parent) is a clean CLI error instead of
+    a traceback mid-run."""
+    from repro.sched import store as sched_store
+
+    if args.cache_dir is None:
+        return None
+    try:
+        return sched_store.resolve_store(args.cache_dir)
+    except OSError as error:
+        raise SystemExit(
+            f"repro: cannot use cache directory {args.cache_dir!r}:"
+            f" {error}"
+        )
 
 
 def _source_from(args) -> str:
@@ -104,6 +126,7 @@ def _cmd_compile(args) -> int:
             registers=args.registers,
             options=options,
             name=args.name,
+            cache=_cache_from(args),
         )
     except ValueError as error:
         raise SystemExit(f"repro compile: {error}")
@@ -228,6 +251,7 @@ def _cmd_sweep(args) -> int:
         jobs=args.jobs,
         scheduler=scheduler,
         suite_info=suite_info,
+        cache_dir=_cache_from(args),
     )
     print(report.render())
     if args.json_out:
@@ -274,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the CompilationResult as JSON",
     )
     compile_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent schedule cache directory (shared across runs;"
+        " default: $REPRO_CACHE_DIR if set)",
+    )
+    compile_parser.add_argument(
         "--show", nargs="*", choices=_SHOW_CHOICES, metavar="SECTION",
         help=f"artifacts to print: {', '.join(_SHOW_CHOICES)}",
     )
@@ -306,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json-out", metavar="PATH",
         help="write machine-readable results (schema repro.sweep/1)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent schedule cache shared by all workers and"
+        " across runs (a repeat sweep into the same directory is"
+        " served from disk; default: $REPRO_CACHE_DIR if set)",
     )
     sweep_parser.add_argument(
         "--artifacts", nargs="+", metavar="NAME",

@@ -16,7 +16,11 @@ variant)`` **cells**.  This module makes that structure explicit:
   :mod:`repro.sched.cache`: the ideal (infinite-register) schedule of a
   loop is computed once per ``(graph, machine, scheduler)`` however many
   budgets/variants/artifacts ask for it, and the spilling driver's
-  per-round MII lookups hit the fingerprint cache;
+  per-round MII lookups hit the fingerprint cache; with a persistent
+  store active (``repro sweep --cache-dir``, ``run_sweep(cache_dir=)``
+  or ``REPRO_CACHE_DIR``), all workers additionally share one on-disk
+  :mod:`repro.sched.store`, so nothing is derived twice across
+  processes *or* across sweeps;
 * :func:`run_sweep` — the ``repro sweep`` entry point: builds the cells
   for the requested artifacts, runs them, aggregates the paper-style
   result objects and a machine-readable JSON document
@@ -47,19 +51,19 @@ sweepable.
 
 from __future__ import annotations
 
-import atexit
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.select import SelectionPolicy
+from repro.pool import shutdown_pool, worker_pool
 from repro.eval.metrics import executed_cycles, memory_traffic
 from repro.graph.builder import ddg_from_source
 from repro.graph.ddg import DDG
 from repro.lifetimes.requirements import register_requirements
 from repro.machine.machine import MachineConfig
 from repro.machine.specs import machine_spec, resolve_machine
+from repro.sched import store as sched_store
 from repro.sched.base import ModuloScheduler
 from repro.sched.cache import STATS, CacheStats, schedule_memo
 from repro.sched.schedule import Schedule
@@ -427,32 +431,11 @@ class EngineRun:
         return [r for r in self.results if r.cell.kind == kind]
 
 
-_POOL: ProcessPoolExecutor | None = None
-_POOL_SIZE = 0
-
-
-def _worker_pool(jobs: int) -> ProcessPoolExecutor:
-    """A persistent pool, reused across batches of the same width so the
-    workers' caches stay warm for a whole sweep (one artifact's ideal
-    pass serves the next's)."""
-    global _POOL, _POOL_SIZE
-    if _POOL is None or _POOL_SIZE != jobs:
-        shutdown_pool()
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
-        _POOL_SIZE = jobs
-    return _POOL
-
-
-def shutdown_pool() -> None:
-    """Tear down the persistent worker pool (harmless if none exists)."""
-    global _POOL, _POOL_SIZE
-    if _POOL is not None:
-        _POOL.shutdown()
-        _POOL = None
-        _POOL_SIZE = 0
-
-
-atexit.register(shutdown_pool)
+# The persistent worker pool lives in repro.pool: it is shared with the
+# Pipeline batch service, keyed by (jobs, active store), and reused
+# across batches so the workers' caches stay warm for a whole sweep
+# (one artifact's ideal pass serves the next's).
+_worker_pool = worker_pool
 
 
 def run_cells(cells: list[Cell], jobs: int = 1) -> EngineRun:
@@ -537,8 +520,10 @@ class SweepReport:
         return "\n\n".join(blocks)
 
     def summary(self) -> str:
+        """One-line wall-clock + cache telemetry (stdout only — never
+        part of the byte-compared JSON)."""
         cache = self.run.cache
-        return (
+        line = (
             f"sweep: {len(self.run.results)} cells, jobs={self.jobs},"
             f" {self.run.seconds:.2f}s wall;"
             f" cache hits/misses: schedule {cache.schedule_hits}"
@@ -546,6 +531,14 @@ class SweepReport:
             f"/{cache.mii_misses}, spill runs {cache.spill_hits}"
             f"/{cache.spill_misses}"
         )
+        lookups = cache.store_hits + cache.store_misses
+        if lookups:
+            share = 100.0 * cache.store_hits / lookups
+            line += (
+                f", store {cache.store_hits}/{cache.store_misses}"
+                f" ({share:.0f}% hits)"
+            )
+        return line
 
     def to_json(self) -> dict:
         """Machine-readable results: deterministic for any job count
@@ -606,8 +599,23 @@ def run_sweep(
     jobs: int = 1,
     scheduler: ModuloScheduler | None = None,
     suite_info: dict | None = None,
+    cache_dir: "str | sched_store.ScheduleStore | None" = None,
 ) -> SweepReport:
-    """Regenerate the requested paper artifacts in one engine pass."""
+    """Regenerate the requested paper artifacts in one engine pass.
+
+    ``cache_dir`` (a directory path or a
+    :class:`~repro.sched.store.ScheduleStore`) activates the persistent
+    store for the whole sweep (parent process and every worker) — a
+    repeated sweep into the same directory is served from disk and
+    produces byte-identical JSON.
+    """
+    if cache_dir is not None:
+        with sched_store.using(cache_dir):
+            return run_sweep(
+                suite=suite, machines=machines, budgets=budgets,
+                artifacts=artifacts, jobs=jobs, scheduler=scheduler,
+                suite_info=suite_info,
+            )
     from repro.eval import experiments
     from repro.machine.machine import paper_configurations
     from repro.workloads.suite import perfect_club_like_suite

@@ -1,0 +1,54 @@
+"""The shared persistent worker pool.
+
+Both fan-out surfaces — the experiment engine's cell evaluation and the
+:meth:`repro.api.Pipeline.compile_many` batch service — need the same
+thing: a ``ProcessPoolExecutor`` that outlives one batch (so the
+workers' in-memory memos stay warm from call to call) and whose workers
+are initialized with the parent's persistent
+:mod:`repro.sched.store`.  This module owns that pool so the mechanism
+exists once.
+
+The pool is keyed by ``(jobs, active store root)``: asking for a
+different width *or* changing the active store retires the old pool —
+stale workers must never keep writing into a store the parent has moved
+away from.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sched import store as sched_store
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_KEY: tuple | None = None
+
+
+def worker_pool(jobs: int) -> ProcessPoolExecutor:
+    """The persistent pool for *jobs* workers, created (or re-created)
+    on demand.  Workers inherit the currently active persistent store
+    through :func:`repro.sched.store.worker_initializer`."""
+    global _POOL, _POOL_KEY
+    key = (jobs, sched_store.store_token())
+    if _POOL is None or _POOL_KEY != key:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=sched_store.worker_initializer,
+            initargs=(key[1],),
+        )
+        _POOL_KEY = key
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (harmless if none exists)."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_KEY = None
+
+
+atexit.register(shutdown_pool)

@@ -20,7 +20,7 @@ from repro.sched.cache import (
     schedule_memo,
     spill_memo,
 )
-from repro.sched import registry
+from repro.sched import registry, store
 from repro.sched.mii import compute_mii, rec_mii, res_mii
 from repro.sched.schedule import Schedule
 from repro.sched.hrms import HRMSScheduler
@@ -49,4 +49,5 @@ __all__ = [
     "res_mii",
     "schedule_memo",
     "spill_memo",
+    "store",
 ]

@@ -24,9 +24,13 @@ functions of graph content, so this module caches them:
   method run the identical spilling driver back to back; the second run
   is a copy-out instead of a recomputation.
 
-Caches are per-process (the experiment engine's worker processes each
-warm their own) and can be bypassed wholesale with :func:`disabled` —
-the benchmark harness uses that to time the uncached seed behaviour.
+The in-process memos are per-process, but every memo miss reads through
+(and every computation writes through) the optional **persistent
+store** of :mod:`repro.sched.store` — a disk directory shared by every
+process pointed at it, so engine workers and repeated sweeps reuse each
+other's schedules.  :func:`disabled` bypasses everything, memos and
+store alike — the benchmark harness uses that to time the uncached seed
+behaviour.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from dataclasses import dataclass, replace
 
 from repro.graph.ddg import DDG
 from repro.machine.machine import MachineConfig
+from repro.sched import store as _store_mod
 from repro.sched.mii import compute_mii
 
 _MAX_ENTRIES = 4096
@@ -44,7 +49,13 @@ _MAX_ENTRIES = 4096
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, reported by the experiment engine."""
+    """Hit/miss accounting, reported by the experiment engine.
+
+    ``store_hits``/``store_misses`` count *disk* lookups against the
+    persistent :mod:`repro.sched.store` layer; they only move when a
+    store is active, and only on in-memory memo misses (an in-memory hit
+    never consults the disk).
+    """
 
     mii_hits: int = 0
     mii_misses: int = 0
@@ -52,15 +63,20 @@ class CacheStats:
     schedule_misses: int = 0
     spill_hits: int = 0
     spill_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
         return CacheStats(
             self.mii_hits, self.mii_misses,
             self.schedule_hits, self.schedule_misses,
             self.spill_hits, self.spill_misses,
+            self.store_hits, self.store_misses,
         )
 
     def delta(self, before: "CacheStats") -> "CacheStats":
+        """Counter movement since the *before* snapshot."""
         return CacheStats(
             self.mii_hits - before.mii_hits,
             self.mii_misses - before.mii_misses,
@@ -68,17 +84,23 @@ class CacheStats:
             self.schedule_misses - before.schedule_misses,
             self.spill_hits - before.spill_hits,
             self.spill_misses - before.spill_misses,
+            self.store_hits - before.store_hits,
+            self.store_misses - before.store_misses,
         )
 
     def add(self, other: "CacheStats") -> None:
+        """Accumulate *other* into this instance (engine aggregation)."""
         self.mii_hits += other.mii_hits
         self.mii_misses += other.mii_misses
         self.schedule_hits += other.schedule_hits
         self.schedule_misses += other.schedule_misses
         self.spill_hits += other.spill_hits
         self.spill_misses += other.spill_misses
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
 
     def as_dict(self) -> dict:
+        """The counters as a plain dict (telemetry output)."""
         return {
             "mii_hits": self.mii_hits,
             "mii_misses": self.mii_misses,
@@ -86,6 +108,8 @@ class CacheStats:
             "schedule_misses": self.schedule_misses,
             "spill_hits": self.spill_hits,
             "spill_misses": self.spill_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
         }
 
 
@@ -96,7 +120,38 @@ _mii_cache: dict[tuple[str, str], int] = {}
 
 
 def caching_enabled() -> bool:
+    """Whether the memos (and the persistent store behind them) are on;
+    ``False`` only inside a :func:`disabled` block."""
     return _enabled
+
+
+def _persistent_store():
+    """The active :class:`repro.sched.store.ScheduleStore`, or ``None``
+    (no store configured, or caching disabled)."""
+    if not _enabled:
+        return None
+    return _store_mod.active_store()
+
+
+def _store_get(namespace: str, key: tuple):
+    """Read-through lookup against the persistent store; counts a
+    store hit/miss only when a store is active."""
+    store = _persistent_store()
+    if store is None:
+        return None
+    value = store.get(namespace, key)
+    if value is None:
+        STATS.store_misses += 1
+    else:
+        STATS.store_hits += 1
+    return value
+
+
+def _store_put(namespace: str, key: tuple, value) -> None:
+    """Write-through to the persistent store, if one is active."""
+    store = _persistent_store()
+    if store is not None:
+        store.put(namespace, key, value)
 
 
 @contextlib.contextmanager
@@ -118,13 +173,16 @@ def disabled():
 
 
 def clear() -> None:
-    """Drop all cached entries and reset the hit/miss counters."""
+    """Drop all *in-memory* entries and reset the hit/miss counters.
+    The persistent store (if any) keeps its files — use
+    :meth:`repro.sched.store.ScheduleStore.clear` for that."""
     _mii_cache.clear()
     _SCHEDULE_MEMO.clear()
     _SPILL_MEMO.clear()
     STATS.mii_hits = STATS.mii_misses = 0
     STATS.schedule_hits = STATS.schedule_misses = 0
     STATS.spill_hits = STATS.spill_misses = 0
+    STATS.store_hits = STATS.store_misses = 0
 
 
 # ----------------------------------------------------------------------
@@ -221,7 +279,8 @@ def owned_schedule(schedule):
 # ----------------------------------------------------------------------
 # MII
 def cached_mii(ddg: DDG, machine: MachineConfig) -> int:
-    """``compute_mii`` memoized on ``(graph content, machine)``."""
+    """``compute_mii`` memoized on ``(graph content, machine)``, read
+    through the persistent store when one is active."""
     if not _enabled:
         return compute_mii(ddg, machine)
     key = (ddg_fingerprint(ddg), machine_key(machine))
@@ -229,8 +288,14 @@ def cached_mii(ddg: DDG, machine: MachineConfig) -> int:
     if hit is not None:
         STATS.mii_hits += 1
         return hit
-    STATS.mii_misses += 1
-    mii = compute_mii(ddg, machine)
+    stored = _store_get("mii", key)
+    if isinstance(stored, int):
+        STATS.mii_hits += 1
+        mii = stored
+    else:
+        STATS.mii_misses += 1
+        mii = compute_mii(ddg, machine)
+        _store_put("mii", key, mii)
     if len(_mii_cache) >= _MAX_ENTRIES:
         _mii_cache.pop(next(iter(_mii_cache)))
     _mii_cache[key] = mii
@@ -257,6 +322,7 @@ class ScheduleMemo:
         self.stats = CacheStats()
 
     def clear(self) -> None:
+        """Drop every in-memory entry (persistent-store files stay)."""
         self._entries.clear()
 
     def schedule(
@@ -288,6 +354,16 @@ class ScheduleMemo:
             if entry.error is not None:
                 raise ScheduleError(entry.error)
             return entry.schedule
+        stored = _store_get("schedule", key)
+        if isinstance(stored, _MemoEntry):
+            # A disk entry is a fresh unpickled object: its graph cannot
+            # have been mutated by anyone, so no revalidation is needed.
+            self.stats.schedule_hits += 1
+            STATS.schedule_hits += 1
+            self._remember(key, stored, persist=False)
+            if stored.error is not None:
+                raise ScheduleError(stored.error)
+            return stored.schedule
         self.stats.schedule_misses += 1
         STATS.schedule_misses += 1
         try:
@@ -326,16 +402,28 @@ class ScheduleMemo:
             self.stats.schedule_hits += 1
             STATS.schedule_hits += 1
             return entry.schedule
+        stored = _store_get("schedule", key)
+        if isinstance(stored, _MemoEntry):
+            self.stats.schedule_hits += 1
+            STATS.schedule_hits += 1
+            self._remember(key, stored, persist=False)
+            return stored.schedule
         self.stats.schedule_misses += 1
         STATS.schedule_misses += 1
         schedule = scheduler.try_schedule_at(ddg, machine, ii)
         self._remember(key, _MemoEntry(ddg, key[0], schedule, None))
         return schedule
 
-    def _remember(self, key: tuple, entry: _MemoEntry) -> None:
+    def _remember(
+        self, key: tuple, entry: _MemoEntry, persist: bool = True
+    ) -> None:
         if len(self._entries) >= _MAX_ENTRIES:
             self._entries.pop(next(iter(self._entries)))
         self._entries[key] = entry
+        if persist:
+            # Pickling snapshots the graph/schedule content as of now —
+            # later caller-side mutation cannot reach the disk entry.
+            _store_put("schedule", key, entry)
 
 
 _SCHEDULE_MEMO = ScheduleMemo()
@@ -367,18 +455,29 @@ class DriverMemo:
         self._entries: dict[tuple, object] = {}
 
     def clear(self) -> None:
+        """Drop every in-memory entry (persistent-store files stay)."""
         self._entries.clear()
 
     def get(self, key: tuple, copy):
-        """The memoized run for *key* (copied via *copy*), or None."""
+        """The memoized run for *key* (copied via *copy*), or None.
+        In-memory misses read through the persistent store."""
         entry = self._entries.get(key)
         if entry is None:
-            return None
+            entry = _store_get("spill", key)
+            if entry is None:
+                return None
+            self._install(key, entry)
         STATS.spill_hits += 1
         return copy(entry)
 
     def put(self, key: tuple, value) -> None:
+        """Record a freshly computed run (a private copy the caller can
+        never reach) in memory and in the persistent store."""
         STATS.spill_misses += 1
+        self._install(key, value)
+        _store_put("spill", key, value)
+
+    def _install(self, key: tuple, value) -> None:
         if len(self._entries) >= _MAX_ENTRIES:
             self._entries.pop(next(iter(self._entries)))
         self._entries[key] = value

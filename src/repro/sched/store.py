@@ -1,0 +1,270 @@
+"""Disk-backed, cross-process persistent schedule store.
+
+The in-process memos in :mod:`repro.sched.cache` (MII, schedule, whole
+spilling-driver runs) die with the process, and every experiment-engine
+worker warms a private copy — a ``--jobs 8`` sweep derives the same
+ideal schedules eight times, and nothing survives between sweeps.  This
+module adds the layer below those memos: a content-addressed directory
+of pickled cache entries that every process reads through and writes
+through.
+
+Design:
+
+* **Keys.**  The memos already key by pure content —
+  ``(DDG fingerprint, machine, scheduler, min_ii/II, …)`` tuples of
+  strings, ints, bools and ``None``.  The store hashes
+  ``(format version, namespace, repr(key))`` with SHA-256 and shards the
+  digest into ``root/<namespace>/<aa>/<digest>.pkl``.  Bumping
+  :data:`STORE_VERSION` therefore changes every path: old entries are
+  simply never found again (and are evicted by size, not migrated).
+* **Atomic writes.**  Entries are written to a unique temp file in the
+  same directory and published with :func:`os.replace`, so concurrent
+  writers of the same key race to an atomic rename — readers see one
+  writer's complete entry, never an interleaving.
+* **Corruption tolerance.**  Every entry embeds a header (magic, format
+  version, payload checksum).  A truncated, garbled or wrong-version
+  entry loads as a miss — the caller recomputes and the next
+  :meth:`ScheduleStore.put` rewrites the file.  A load must never raise.
+* **Eviction.**  The store is capped (:attr:`ScheduleStore.max_bytes`,
+  default 512 MiB).  Every :data:`_EVICT_EVERY` writes the directory is
+  scanned and the oldest entries (by mtime) are removed until the total
+  drops below the cap.
+
+One store is *active* per process at a time: :func:`configure` installs
+one (the ``REPRO_CACHE_DIR`` environment variable supplies a default),
+:func:`using` activates one for a ``with`` block, and
+:func:`active_store` is what :mod:`repro.sched.cache` consults on every
+memo miss.  Experiment-engine worker processes inherit the parent's
+store through :func:`worker_initializer`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bump to invalidate every existing on-disk entry (the version is part
+#: of the hashed key material *and* checked in the entry header).
+STORE_VERSION = 1
+
+_MAGIC = b"repro-store\x00"
+_EVICT_EVERY = 64
+
+
+class ScheduleStore:
+    """A persistent dictionary of cache entries under one directory.
+
+    Values are arbitrary picklable objects; keys are ``(namespace,
+    key-tuple)`` pairs where the tuple contains only stably-``repr``-able
+    scalars (str/int/bool/None).  All methods are safe under concurrent
+    use from many processes; none of them raise on a damaged entry.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_bytes: int = 512 * 1024 * 1024,
+        version: int = STORE_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.version = version
+        self._puts_since_evict = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, namespace: str, key: tuple) -> Path:
+        """The entry file for *key*: version + namespace + key hashed,
+        sharded one level to keep directories small."""
+        digest = hashlib.sha256(
+            f"v{self.version}|{namespace}|{key!r}".encode()
+        ).hexdigest()
+        return self.root / namespace / digest[:2] / f"{digest}.pkl"
+
+    def get(self, namespace: str, key: tuple):
+        """The stored value for *key*, or ``None``.
+
+        Missing, truncated, corrupt and wrong-version entries are all
+        misses; this never raises.
+        """
+        path = self.path_for(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            if not blob.startswith(_MAGIC):
+                return None
+            body = blob[len(_MAGIC):]
+            version = int.from_bytes(body[:4], "big")
+            checksum, payload = body[4:36], body[36:]
+            if version != self.version:
+                return None
+            if hashlib.sha256(payload).digest() != checksum:
+                return None
+            return pickle.loads(payload)
+        except Exception:
+            return None
+
+    def put(self, namespace: str, key: tuple, value) -> bool:
+        """Persist *value* under *key* atomically (write-temp + rename).
+
+        Returns whether the entry was written; I/O or pickling failures
+        are swallowed (the store is an accelerator, never a correctness
+        dependency).
+        """
+        path = self.path_for(namespace, key)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            blob = (
+                _MAGIC
+                + self.version.to_bytes(4, "big")
+                + hashlib.sha256(payload).digest()
+                + payload
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(temp)
+                raise
+        except Exception:
+            return False
+        self._puts_since_evict += 1
+        if self._puts_since_evict >= _EVICT_EVERY:
+            self._puts_since_evict = 0
+            self._evict()
+        return True
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """All entry files currently in the store."""
+        return [p for p in self.root.rglob("*.pkl") if p.is_file()]
+
+    def total_bytes(self) -> int:
+        """Bytes currently on disk (entry files only)."""
+        total = 0
+        for path in self.entries():
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself is kept)."""
+        for path in self.entries():
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def _evict(self) -> None:
+        """Drop oldest entries until the store fits ``max_bytes``, and
+        reap temp files orphaned by writers killed mid-``put`` (they
+        match no entry glob, so nothing else would ever remove them)."""
+        import time
+
+        stale = time.time() - 3600
+        for temp in self.root.rglob("*.tmp"):
+            with contextlib.suppress(OSError):
+                if temp.stat().st_mtime < stale:
+                    temp.unlink()
+        stamped = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        # aim below the cap so eviction is not re-triggered immediately
+        target = int(self.max_bytes * 0.8)
+        for _, size, path in sorted(stamped):
+            if total <= target:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= size
+
+
+# ----------------------------------------------------------------------
+# the process-wide active store
+_UNSET = object()
+_ACTIVE: "ScheduleStore | None | object" = _UNSET
+
+#: Environment variable naming a default store directory.  Read lazily
+#: on the first :func:`active_store` call of a process that never called
+#: :func:`configure` — which is how engine workers spawned without an
+#: initializer still find the store.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def resolve_store(
+    store: "ScheduleStore | str | os.PathLike | None",
+) -> "ScheduleStore | None":
+    """Coerce a store argument — an instance, a directory path, or
+    ``None`` — into a :class:`ScheduleStore` (or ``None``)."""
+    if store is None or isinstance(store, ScheduleStore):
+        return store
+    return ScheduleStore(store)
+
+
+def configure(
+    store: "ScheduleStore | str | os.PathLike | None",
+) -> "ScheduleStore | None":
+    """Install the process-wide active store (``None`` disables it) and
+    return it.  Overrides any :data:`ENV_CACHE_DIR` default."""
+    global _ACTIVE
+    _ACTIVE = resolve_store(store)
+    return _ACTIVE
+
+
+def active_store() -> "ScheduleStore | None":
+    """The store the memos read through right now, if any.
+
+    Falls back to :data:`ENV_CACHE_DIR` when :func:`configure` has not
+    been called in this process.
+    """
+    global _ACTIVE
+    if _ACTIVE is _UNSET:
+        default = os.environ.get(ENV_CACHE_DIR)
+        _ACTIVE = ScheduleStore(default) if default else None
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def using(store: "ScheduleStore | str | os.PathLike | None"):
+    """Activate *store* for the duration of a ``with`` block.
+
+    ``using(None)`` temporarily disables the persistent layer (the
+    in-process memos still work)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolve_store(store)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def store_token() -> str | None:
+    """A picklable identifier of the active store (its root path), used
+    to key worker pools and re-create the store in workers."""
+    store = active_store()
+    return str(store.root) if store is not None else None
+
+
+def worker_initializer(token: str | None) -> None:
+    """Process-pool initializer: give a worker the parent's store (or
+    explicitly none, overriding any environment default)."""
+    configure(token)

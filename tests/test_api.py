@@ -306,6 +306,118 @@ class TestPipeline:
             Pipeline(strategy="anneal")
 
 
+BATCH = [
+    {"loop": FIG2, "name": "l1"},
+    {"loop": "s = s + x[i]*y[i]", "name": "l2", "strategy": "increase"},
+    {"loop": "z[i] = x[i] + y[i]", "name": "l3", "registers": 4,
+     "strategy": "spill"},
+    {"loop": "q[i] = q[i-1]*b + x[i]", "name": "l4"},
+]
+
+
+class TestPipelineBatchService:
+    def test_results_come_back_in_request_order(self):
+        pipeline = Pipeline(machine=MACHINE, registers=16)
+        results = pipeline.compile_many(BATCH)
+        assert [r.loop for r in results] == ["l1", "l2", "l3", "l4"]
+        assert [r.strategy for r in results] == [
+            "combined", "increase", "spill", "combined",
+        ]
+
+    def test_jobs_do_not_change_results(self):
+        pipeline = Pipeline(machine=MACHINE, registers=16)
+        serial = pipeline.compile_many(BATCH, jobs=1)
+        parallel = pipeline.compile_many(BATCH, jobs=4)
+        assert serial == parallel
+        assert [r.to_json() for r in serial] == [
+            r.to_json() for r in parallel
+        ]
+
+    def test_batch_results_are_the_deterministic_service_shape(self):
+        pipeline = Pipeline(machine=MACHINE, registers=16)
+        result = pipeline.compile_many(BATCH[:1])[0]
+        assert result.wall_seconds == 0.0
+        assert result.schedule is None and result.ddg is None
+
+    def test_serve_json_streams_schema_documents(self):
+        pipeline = Pipeline(machine=MACHINE, registers=16)
+        stream = pipeline.serve_json(BATCH, jobs=2)
+        first = next(stream)
+        assert first["schema"] == "repro.compile/1"
+        assert first["loop"] == "l1"
+        rest = list(stream)
+        assert [doc["loop"] for doc in rest] == ["l2", "l3", "l4"]
+        for doc in [first] + rest:
+            json.dumps(doc)  # wire format must be JSON-safe
+
+    def test_batch_requests_share_the_persistent_store(self, tmp_path):
+        sched_cache.clear()
+        pipeline = Pipeline(
+            machine=MACHINE, registers=16, cache=str(tmp_path)
+        )
+        cold = pipeline.compile_many(BATCH)
+        assert pipeline.cache.entries()
+        sched_cache.clear()  # fresh process, warm directory
+        warm = Pipeline(
+            machine=MACHINE, registers=16, cache=str(tmp_path)
+        ).compile_many(BATCH)
+        assert warm == cold
+        assert sched_cache.STATS.store_hits > 0
+        assert sched_cache.STATS.schedule_misses == 0
+
+    def test_request_validation(self):
+        pipeline = Pipeline(machine=MACHINE)
+        with pytest.raises(ValueError, match="'loop'"):
+            pipeline.compile_many([{"name": "missing"}])
+        with pytest.raises(ValueError, match="unknown request key"):
+            pipeline.compile_many([{"loop": FIG2, "budget": 8}])
+        with pytest.raises(ValueError, match="unknown strategy"):
+            pipeline.compile_many([{"loop": FIG2, "strategy": "anneal"}])
+        with pytest.raises(ValueError, match="overrides"):
+            pipeline.compile_many([{"loop": FIG2}], strategy="spill")
+        with pytest.raises(ValueError, match="named-batch"):
+            pipeline.compile_many({"a": FIG2}, jobs=2)
+
+    def test_null_request_values_mean_pipeline_default(self):
+        """JSON wire requests encode "use the default" as null; that
+        must not crash and must match the absent-key behaviour."""
+        pipeline = Pipeline(machine=MACHINE, registers=16)
+        nulled = pipeline.compile_many([{
+            "loop": FIG2, "name": None, "machine": None,
+            "scheduler": None, "strategy": None, "options": None,
+        }])[0]
+        assert nulled == pipeline.compile_many([{"loop": FIG2}])[0]
+        # ... except registers, where an explicit null is unconstrained
+        free = pipeline.compile_many([{
+            "loop": FIG2, "strategy": "none", "registers": None,
+        }])[0]
+        assert free.registers is None and free.converged
+
+    def test_interleaved_streams_leave_the_active_store_alone(self, tmp_path):
+        """Result streams are lazy; suspending or interleaving them must
+        never leave the process-wide active store swapped."""
+        from repro.sched import store as sched_store
+
+        sched_cache.clear()  # cold memos: computations must write through
+        before = sched_store.active_store()
+        one = Pipeline(machine=MACHINE, cache=str(tmp_path / "a"))
+        two = Pipeline(machine=MACHINE, cache=str(tmp_path / "b"))
+        stream_one = one.results(BATCH[:2])
+        stream_two = two.results(BATCH[:2])
+        next(stream_one)
+        next(stream_two)  # interleave while stream_one is suspended
+        assert sched_store.active_store() is before
+        assert list(stream_one) and list(stream_two)
+        assert sched_store.active_store() is before
+        # the first pipeline's store was really written (the second's
+        # requests were served by the now-warm in-memory memos)
+        assert one.cache.entries()
+        abandoned = one.results(BATCH)
+        next(abandoned)
+        del abandoned  # dropped mid-stream
+        assert sched_store.active_store() is before
+
+
 class TestSpillRunMemo:
     def test_hit_returns_equal_owned_result(self):
         sched_cache.clear()
@@ -357,6 +469,23 @@ class TestDeprecatedShims:
         with pytest.warns(DeprecationWarning, match="compile_loop"):
             result = core.schedule_with_spilling(_fig2(), _machine(), 6)
         assert result.converged
+
+    @pytest.mark.parametrize("entry, strategy", [
+        ("schedule_with_spilling", "spill"),
+        ("schedule_increasing_ii", "increase"),
+        ("schedule_best_of_both", "combined"),
+        ("schedule_with_prescheduling_spill", "prespill"),
+    ])
+    def test_every_shim_names_its_replacement(self, entry, strategy):
+        """Each legacy entry point's warning must spell out the exact
+        compile_loop call that replaces it."""
+        import repro.core as core
+
+        expected = f"repro.api.compile_loop(..., strategy={strategy!r})"
+        with pytest.warns(DeprecationWarning) as caught:
+            getattr(core, entry)(_fig2(), _machine(), 32)
+        messages = [str(w.message) for w in caught]
+        assert any(expected in message for message in messages), messages
 
 
 class TestEngineIntegration:

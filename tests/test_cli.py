@@ -20,6 +20,30 @@ class TestCompile:
         assert "II=2" in out
         assert "Ld_y" in out  # spilled value listed
 
+    def test_compile_cache_dir_round_trip(self, capsys, tmp_path):
+        from repro.sched import cache as sched_cache
+
+        sched_cache.clear()  # cold memos: computations must write through
+        argv = [
+            "compile", "-e", FIG2, "--machine", "generic:4:2",
+            "--registers", "6", "--method", "spill",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # warm: served from the store
+        assert capsys.readouterr().out == cold
+        assert list((tmp_path / "cache").rglob("*.pkl"))
+
+    def test_compile_invalid_cache_dir_is_a_clean_error(self, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("occupied")
+        with pytest.raises(SystemExit, match="cache directory"):
+            main([
+                "compile", "-e", FIG2,
+                "--cache-dir", str(not_a_dir),
+            ])
+
     def test_compile_all_methods(self, capsys):
         for method in ("spill", "increase", "combined", "prespill"):
             code = main([
