@@ -1,6 +1,8 @@
 """Micro-benchmarks of the individual subsystems (proper multi-round
 pytest-benchmark timings): scheduler throughput, MII computation, lifetime
-analysis, register allocation, and one full spill pipeline.
+analysis, register allocation, and one full spill pipeline — plus the
+deterministic work-counter comparison of the indexed analysis core
+against the legacy whole-graph oracle (the CI-gateable cold-path win).
 
 These quantify the compile-time story behind Figure 8c — where the
 scheduling time goes — and guard against performance regressions in the
@@ -19,8 +21,18 @@ from repro import (
     register_requirements,
 )
 from repro.core.driver import schedule_with_spilling
+from repro.graph.analysis import (
+    longest_path_lengths,
+    longest_path_lengths_reference,
+)
+from repro.graph.index import WORK
 from repro.lifetimes import allocate_registers, max_live, variant_lifetimes
-from repro.workloads import NAMED_KERNELS, apsi47_like, apsi50_like
+from repro.workloads import (
+    NAMED_KERNELS,
+    apsi47_like,
+    apsi50_like,
+    random_suite,
+)
 
 MACHINE = p2l4()
 
@@ -71,3 +83,55 @@ def test_full_spill_pipeline(benchmark):
     result = benchmark.pedantic(pipeline, rounds=3, iterations=1)
     assert result.converged
     assert register_requirements(result.schedule).fits(32)
+
+
+# ----------------------------------------------------------------------
+# the compiled analysis core vs the legacy whole-graph oracle
+def _relaxation_workloads():
+    return random_suite(size=40, seed=20260728)
+
+
+def test_relaxation_edge_visits_reduction(record):
+    """Deterministic cold-path gate: over the synthetic suite, the
+    condensation-ordered longest-path relaxation must visit at least 3x
+    fewer edges than the legacy whole-graph Bellman-Ford at the same
+    (graph, latencies, II) points — no wall clock involved."""
+    fast = slow = 0
+    for workload in _relaxation_workloads():
+        ddg = workload.ddg
+        latencies = MACHINE.latencies_for(ddg)
+        mii = compute_mii(ddg, MACHINE)
+        for ii in (mii, mii + 2):
+            before = WORK.snapshot()
+            longest_path_lengths(ddg, latencies, ii)
+            longest_path_lengths(ddg, latencies, ii, reverse=True)
+            middle = WORK.snapshot()
+            longest_path_lengths_reference(ddg, latencies, ii)
+            longest_path_lengths_reference(ddg, latencies, ii, reverse=True)
+            after = WORK.snapshot()
+            fast += middle.delta(before).relax_visits
+            slow += after.delta(middle).relax_visits
+    ratio = slow / max(fast, 1)
+    record(
+        "relaxation_edge_visits",
+        "ASAP/ALAP relaxation edge-visits, synthetic suite (40 loops, 2 IIs"
+        " each)\n"
+        f"indexed (per-SCC, condensation order): {fast}\n"
+        f"legacy whole-graph Bellman-Ford:       {slow}\n"
+        f"reduction: {ratio:.2f}x",
+    )
+    assert fast * 3 <= slow, (fast, slow)
+
+
+def test_indexed_longest_paths_throughput(benchmark, big_loop):
+    latencies = MACHINE.latencies_for(big_loop)
+    ii = compute_mii(big_loop, MACHINE)
+
+    def both_directions():
+        longest_path_lengths(big_loop, latencies, ii)
+        return longest_path_lengths(big_loop, latencies, ii, reverse=True)
+
+    height = benchmark(both_directions)
+    assert height == longest_path_lengths_reference(
+        big_loop, latencies, ii, reverse=True
+    )

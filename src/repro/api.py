@@ -50,6 +50,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from repro.core.registry import StrategyOutcome, get_strategy
 from repro.graph.builder import ddg_from_source
 from repro.graph.ddg import DDG
+from repro.graph.index import WORK
 from repro.lifetimes.requirements import RegisterReport
 from repro.machine.machine import MachineConfig
 from repro.machine.specs import machine_label, resolve_machine
@@ -89,6 +90,8 @@ class CompilationResult:
     trace: tuple[dict, ...] = ()   #: per-round/per-II history
     attempts: int = 0              #: scheduling attempts (effort proxy)
     placements: int = 0            #: slot probes (effort proxy)
+    relaxations: int = 0           #: analysis relaxation edge-visits
+    mrt_probes: int = 0            #: MRT unit availability tests
     wall_seconds: float = 0.0
     details: dict = field(default_factory=dict)
     schedule: Schedule | None = field(
@@ -144,6 +147,8 @@ class CompilationResult:
             "trace": [dict(row) for row in self.trace],
             "attempts": self.attempts,
             "placements": self.placements,
+            "relaxations": self.relaxations,
+            "mrt_probes": self.mrt_probes,
             "wall_seconds": self.wall_seconds,
             "details": dict(self.details),
         }
@@ -179,6 +184,8 @@ class CompilationResult:
             trace=tuple(dict(row) for row in document["trace"]),
             attempts=document["attempts"],
             placements=document["placements"],
+            relaxations=document.get("relaxations", 0),
+            mrt_probes=document.get("mrt_probes", 0),
             wall_seconds=document["wall_seconds"],
             details=dict(document["details"]),
         )
@@ -206,10 +213,12 @@ def _run(
 ) -> CompilationResult:
     strategy = get_strategy(strategy_name)
     started = time.perf_counter()
+    work_before = WORK.snapshot()
     mii = cached_mii(ddg, machine)
     outcome: StrategyOutcome = strategy(
         ddg, machine, scheduler, registers, dict(options or {})
     )
+    work = WORK.delta(work_before)
     wall = time.perf_counter() - started
     schedule = outcome.schedule
     try:
@@ -239,6 +248,8 @@ def _run(
         trace=tuple(outcome.trace),
         attempts=outcome.effort.attempts,
         placements=outcome.effort.placements,
+        relaxations=work.relax_visits,
+        mrt_probes=work.mrt_probes,
         wall_seconds=wall,
         details=dict(outcome.details),
         schedule=schedule,
@@ -515,7 +526,10 @@ def _service_compile(request: dict) -> CompilationResult:
     )
     # The batch contract is determinism (jobs=1 == jobs=N, run-to-run
     # byte-identical JSON), so per-request wall clock is dropped along
-    # with the unpicklable-in-spirit heavyweight artifacts.
+    # with the unpicklable-in-spirit heavyweight artifacts.  The work
+    # counters measure *performed* (not memo-served) analysis work, so
+    # they depend on cache warmth and are zeroed for the same reason.
     return _dc_replace(
-        result, wall_seconds=0.0, schedule=None, report=None, ddg=None
+        result, wall_seconds=0.0, relaxations=0, mrt_probes=0,
+        schedule=None, report=None, ddg=None,
     )

@@ -30,7 +30,10 @@ Subcommands:
   parallel cached experiment engine (one-command reproduction): suite ×
   machines × budgets × heuristic variants × ``--scheduler``, rendered
   tables on stdout and machine-readable JSON via ``--json-out``
-  (deterministic for any ``--jobs`` value).
+  (deterministic for any ``--jobs`` value);
+* ``cache`` — operator hygiene for a shared persistent store
+  (``repro cache stats`` / ``repro cache clear``) without writing any
+  Python.
 
 ``compile`` and ``sweep`` take ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``): a persistent :mod:`repro.sched.store` directory
@@ -262,6 +265,64 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.sched import store as sched_store
+
+    directory = args.cache_dir
+    if directory is None:
+        import os
+
+        directory = os.environ.get(sched_store.ENV_CACHE_DIR)
+    if not directory:
+        raise SystemExit(
+            "repro cache: no cache directory (pass --cache-dir or set"
+            f" ${sched_store.ENV_CACHE_DIR})"
+        )
+    import pathlib
+
+    if not pathlib.Path(directory).is_dir():
+        # Resolving a store would silently mkdir the path — on a typo an
+        # operator would "clear" a brand-new empty directory and walk
+        # away thinking the real cache is gone.
+        raise SystemExit(
+            f"repro cache: {directory!r} is not an existing directory"
+        )
+    try:
+        store = sched_store.resolve_store(directory)
+    except OSError as error:
+        raise SystemExit(
+            f"repro: cannot use cache directory {directory!r}: {error}"
+        )
+    if args.cache_command == "stats":
+        per_namespace: dict[str, tuple[int, int]] = {}
+        for path in store.entries():
+            namespace = path.relative_to(store.root).parts[0]
+            count, size = per_namespace.get(namespace, (0, 0))
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+            per_namespace[namespace] = (count + 1, size)
+        total_entries = sum(count for count, _ in per_namespace.values())
+        total_bytes = sum(size for _, size in per_namespace.values())
+        print(f"store: {store.root}")
+        print(f"version: {store.version}")
+        for namespace in sorted(per_namespace):
+            count, size = per_namespace[namespace]
+            print(f"  {namespace:>10}: {count} entries, {size} bytes")
+        print(
+            f"total: {total_entries} entries, {total_bytes} bytes"
+            f" (cap {store.max_bytes})"
+        )
+        return 0
+    if args.cache_command == "clear":
+        removed = len(store.entries())
+        store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    raise SystemExit(f"repro cache: unknown action {args.cache_command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -389,6 +450,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="random suite: probability a statement stores to memory",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect or clear a persistent schedule-cache directory",
+    )
+    cache_sub = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    for action, description in (
+        ("stats", "entry counts and bytes per namespace"),
+        ("clear", "delete every entry (the directory is kept)"),
+    ):
+        action_parser = cache_sub.add_parser(action, help=description)
+        action_parser.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="store directory (default: $REPRO_CACHE_DIR)",
+        )
+        action_parser.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -31,8 +31,8 @@ from repro.lifetimes.lifetime import Lifetime
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 from repro.machine.machine import MachineConfig
 from repro.sched.base import ModuloScheduler, ScheduleError
+from repro.sched.cache import cached_mii
 from repro.sched.hrms import HRMSScheduler
-from repro.sched.mii import compute_mii
 from repro.sched.schedule import Schedule
 
 
@@ -125,7 +125,7 @@ def schedule_with_prescheduling_spill(
     schedule once and report whether the loop fits."""
     scheduler = scheduler or HRMSScheduler()
     work = ddg.copy()
-    base_mii = compute_mii(work, machine)
+    base_mii = cached_mii(work, machine)
     spilled: list[str] = []
 
     for _ in range(max_spills):
@@ -144,7 +144,7 @@ def schedule_with_prescheduling_spill(
                 apply_spill(trial, candidate)
             except (ValueError, KeyError):
                 continue
-            if compute_mii(trial, machine) > base_mii:
+            if cached_mii(trial, machine) > base_mii:
                 continue  # the defining rule: never raise the (M)II
             work = trial
             spilled.append(candidate.value)

@@ -15,9 +15,11 @@ from repro.graph.analysis import (
     recurrence_mii_of_scc,
     strongly_connected_components,
 )
+from repro.graph.index import DDGIndex, get_index
 
 __all__ = [
     "DDG",
+    "DDGIndex",
     "DepKind",
     "Edge",
     "EdgeKind",
@@ -26,6 +28,7 @@ __all__ = [
     "build_ddg",
     "critical_recurrence",
     "ddg_from_source",
+    "get_index",
     "longest_path_lengths",
     "recurrence_mii_of_scc",
     "strongly_connected_components",

@@ -13,11 +13,20 @@ model.  Dependence-edge latency is the producer's latency for flow
 dependences and one cycle for anti/output memory dependences (strict
 ordering, the conservative choice for machines without same-cycle
 store-to-load forwarding).
+
+Since the compiled-analysis-core rework, the hot paths run on the
+integer-indexed :class:`repro.graph.index.DDGIndex` view: longest paths
+relax per-SCC in condensation topological order (O(E) per candidate II
+instead of whole-graph O(V·E) Bellman-Ford), and per-SCC RecMII comes
+from the index's one-shared-pass memo.  The legacy whole-graph
+relaxation survives as :func:`longest_path_lengths_reference` — the
+oracle the property tests compare the indexed path against.
 """
 
 from __future__ import annotations
 
 from repro.graph.ddg import DDG, DepKind, Edge
+from repro.graph.index import WORK, get_index
 
 #: latency charged to anti and output memory dependences.
 NON_FLOW_LATENCY = 1
@@ -33,70 +42,17 @@ def edge_latency(edge: Edge, latencies: dict[str, int]) -> int:
 
 # ----------------------------------------------------------------------
 def strongly_connected_components(ddg: DDG) -> list[set[str]]:
-    """Tarjan's algorithm, iterative (graphs can be deep)."""
-    index: dict[str, int] = {}
-    lowlink: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    components: list[set[str]] = []
-    counter = 0
-
-    for root in ddg.nodes:
-        if root in index:
-            continue
-        work: list[tuple[str, list[str], int]] = [
-            (root, [e.dst for e in ddg.out_edges(root)], 0)
-        ]
-        index[root] = lowlink[root] = counter
-        counter += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, succs, pointer = work.pop()
-            advanced = False
-            while pointer < len(succs):
-                succ = succs[pointer]
-                pointer += 1
-                if succ not in index:
-                    work.append((node, succs, pointer))
-                    index[succ] = lowlink[succ] = counter
-                    counter += 1
-                    stack.append(succ)
-                    on_stack.add(succ)
-                    work.append((succ, [e.dst for e in ddg.out_edges(succ)], 0))
-                    advanced = True
-                    break
-                if succ in on_stack:
-                    lowlink[node] = min(lowlink[node], index[succ])
-            if advanced:
-                continue
-            if lowlink[node] == index[node]:
-                component: set[str] = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    if member == node:
-                        break
-                components.append(component)
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-    return components
+    """Tarjan's algorithm (iterative, over the compiled index)."""
+    index = get_index(ddg)
+    return [index.scc_names(sid) for sid in range(len(index.sccs))]
 
 
 def recurrence_components(ddg: DDG) -> list[set[str]]:
     """SCCs that actually contain a cycle (more than one node, or a
-    self-loop)."""
-    result = []
-    for component in strongly_connected_components(ddg):
-        if len(component) > 1:
-            result.append(component)
-            continue
-        (node,) = component
-        if any(e.dst == node for e in ddg.out_edges(node)):
-            result.append(component)
-    return result
+    self-loop).  Self-loops are precomputed flags on the index — no
+    per-singleton edge scan."""
+    index = get_index(ddg)
+    return [index.scc_names(sid) for sid in index.cyclic_sccs]
 
 
 # ----------------------------------------------------------------------
@@ -108,12 +64,14 @@ def _has_positive_cycle(
 ) -> bool:
     """Bellman-Ford longest-path relaxation restricted to *nodes*; a value
     still improving after |nodes| rounds certifies a positive cycle, i.e.
-    II is below this recurrence's RecMII."""
+    II is below this recurrence's RecMII.  (Reference path, also used for
+    ad-hoc node subsets that are not SCCs of the graph.)"""
     dist = {name: 0 for name in nodes}
     local = [e for e in edges if e.src in nodes and e.dst in nodes]
     for _ in range(len(nodes)):
         changed = False
         for edge in local:
+            WORK.relax_visits += 1
             weight = edge_latency(edge, latencies) - ii * edge.distance
             candidate = dist[edge.src] + weight
             if candidate > dist[edge.dst]:
@@ -124,12 +82,10 @@ def _has_positive_cycle(
     return True
 
 
-def recurrence_mii_of_scc(
+def _recurrence_mii_generic(
     ddg: DDG, component: set[str], latencies: dict[str, int]
 ) -> int:
-    """RecMII contributed by one recurrence: the smallest II at which no
-    dependence cycle through the component has positive slack demand
-    (equivalently ``max over cycles ceil(sum latency / sum distance)``)."""
+    """Legacy per-component binary search for arbitrary node subsets."""
     edges = [e for e in ddg.edges if e.src in component and e.dst in component]
     if not edges:
         return 1
@@ -152,18 +108,39 @@ def recurrence_mii_of_scc(
     return low
 
 
+def recurrence_mii_of_scc(
+    ddg: DDG, component: set[str], latencies: dict[str, int]
+) -> int:
+    """RecMII contributed by one recurrence: the smallest II at which no
+    dependence cycle through the component has positive slack demand
+    (equivalently ``max over cycles ceil(sum latency / sum distance)``).
+
+    When *component* is an SCC of *ddg* (the normal case) the answer
+    comes from the index's shared per-SCC memo; arbitrary subsets fall
+    back to the legacy filtered binary search.
+    """
+    index = get_index(ddg)
+    sid = index.scc_of_component(component)
+    if sid is not None:
+        return index.latency_view(latencies).recmii_of(sid)
+    return _recurrence_mii_generic(ddg, component, latencies)
+
+
 def critical_recurrence(
     ddg: DDG, latencies: dict[str, int]
 ) -> tuple[set[str] | None, int]:
     """The recurrence with the largest RecMII, and that RecMII (1 if the
     graph is acyclic)."""
-    best: set[str] | None = None
+    index = get_index(ddg)
+    view = index.latency_view(latencies)
+    best: int | None = None
     best_mii = 1
-    for component in recurrence_components(ddg):
-        mii = recurrence_mii_of_scc(ddg, component, latencies)
+    for sid, mii in view.cyclic_recmii():
         if mii > best_mii or best is None:
-            best, best_mii = component, max(best_mii, mii)
-    return best, best_mii
+            best, best_mii = sid, max(best_mii, mii)
+    if best is None:
+        return None, best_mii
+    return index.scc_names(best), best_mii
 
 
 # ----------------------------------------------------------------------
@@ -179,12 +156,30 @@ def longest_path_lengths(
 
     Callers must pass ``ii >= RecMII`` or the relaxation may not converge;
     a ``ValueError`` is raised if it does not.
+
+    Runs as per-SCC relaxation in condensation topological order on the
+    compiled index (O(E) per call for acyclic graphs);
+    :func:`longest_path_lengths_reference` is the legacy whole-graph
+    equivalent.
     """
+    index = get_index(ddg)
+    return index.latency_view(latencies).longest_paths(ii, reverse=reverse)
+
+
+def longest_path_lengths_reference(
+    ddg: DDG,
+    latencies: dict[str, int],
+    ii: int,
+    reverse: bool = False,
+) -> dict[str, int]:
+    """The pre-index whole-graph Bellman-Ford relaxation, kept verbatim
+    as the oracle for :func:`longest_path_lengths`."""
     dist = {name: 0 for name in ddg.nodes}
     edges = ddg.edges
     for _ in range(len(ddg.nodes) + 1):
         changed = False
         for edge in edges:
+            WORK.relax_visits += 1
             weight = edge_latency(edge, latencies) - ii * edge.distance
             if reverse:
                 src, dst = edge.dst, edge.src
@@ -207,8 +202,9 @@ def asap_alap(
     ALAP is normalized so the critical path has zero mobility:
     ``alap[v] = span - height[v]`` where span is the critical-path length.
     """
-    depth = longest_path_lengths(ddg, latencies, ii)
-    height = longest_path_lengths(ddg, latencies, ii, reverse=True)
+    view = get_index(ddg).latency_view(latencies)
+    depth = view.longest_paths(ii)
+    height = view.longest_paths(ii, reverse=True)
     span = max((depth[v] + height[v] for v in ddg.nodes), default=0)
     alap = {v: span - height[v] for v in ddg.nodes}
     return depth, alap

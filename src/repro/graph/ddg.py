@@ -136,7 +136,8 @@ class DDG:
         self._out: dict[str, list[Edge]] = {}
         self._in: dict[str, list[Edge]] = {}
         #: Mutation counter.  Every structural change bumps it, so derived
-        #: results (MII, content fingerprint) can be cached per revision
+        #: results (MII, content fingerprint, the compiled
+        #: :class:`repro.graph.index.DDGIndex`) can be cached per revision
         #: and recomputed only after the graph actually changed.
         self.revision = 0
 
@@ -196,6 +197,17 @@ class DDG:
 
     def in_edges(self, name: str) -> list[Edge]:
         return list(self._in[name])
+
+    def iter_out_edges(self, name: str):
+        """Zero-copy iterator over *name*'s outgoing edges.  For
+        read-only hot paths (scheduler placement scans); callers must
+        not mutate the graph while iterating."""
+        return iter(self._out[name])
+
+    def iter_in_edges(self, name: str):
+        """Zero-copy iterator over *name*'s incoming edges (see
+        :meth:`iter_out_edges`)."""
+        return iter(self._in[name])
 
     @property
     def edges(self) -> list[Edge]:
@@ -263,6 +275,15 @@ class DDG:
             root = find(name)
             groups.setdefault(root, set()).add(name)
         return [members for members in groups.values() if len(members) > 1]
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the compiled index: it is a process-local
+        derived view (rebuilt on demand, shared by fingerprint) and
+        would bloat every memo/store entry embedding a graph."""
+        state = self.__dict__.copy()
+        state.pop("_index", None)
+        return state
 
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "DDG":

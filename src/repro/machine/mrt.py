@@ -9,10 +9,20 @@ Pipelined units are busy for one cycle per operation.  Non-pipelined units
 same unit is reserved in every iteration, such an operation only fits if its
 latency is at most II — which is why any loop containing a divide has
 ``ResMII >= 17`` on the paper's machines.
+
+Availability checks are integer-bitmask operations: each unit carries an
+II-bit occupancy mask, an operation's footprint is a mask of its slots
+mod II, and ``can_place`` is one AND per unit instead of a nested
+list scan.  The name-per-slot grid is kept alongside the masks for the
+queries that need occupant identities (:meth:`conflicting`,
+:meth:`render`, :meth:`utilization`).  Unit probes are counted in
+:data:`repro.graph.index.WORK` (``mrt_probes``) — the deterministic
+effort proxy surfaced by :class:`repro.api.CompilationResult`.
 """
 
 from __future__ import annotations
 
+from repro.graph.index import WORK
 from repro.ir.operations import FuClass, Opcode
 from repro.machine.machine import MachineConfig
 
@@ -29,6 +39,12 @@ class ModuloReservationTable:
             fu_class: [[None] * ii for _ in range(count)]
             for fu_class, count in machine.fu_counts.items()
         }
+        #: Per-unit occupancy bitmask, bit ``c`` set when cycle ``c`` is
+        #: busy; parallel to ``_grid``'s rows.
+        self._masks: dict[FuClass, list[int]] = {
+            fu_class: [0] * count
+            for fu_class, count in machine.fu_counts.items()
+        }
         self._placements: dict[str, tuple[FuClass, int, list[int]]] = {}
 
     # ------------------------------------------------------------------
@@ -40,18 +56,36 @@ class ModuloReservationTable:
             return None
         return [(start + j) % self.ii for j in range(occupancy)]
 
-    def _free_unit(self, fu_class: FuClass, cycles: list[int]) -> int | None:
-        for unit, row in enumerate(self._grid.get(fu_class, [])):
-            if all(row[c] is None for c in cycles):
+    def _footprint(self, opcode: Opcode, start: int) -> int | None:
+        """The occupancy bitmask of an operation starting at *start*, or
+        ``None`` when it cannot fit at any start cycle."""
+        occupancy = self.machine.occupancy(opcode)
+        ii = self.ii
+        if occupancy > ii:
+            return None
+        start %= ii
+        mask = ((1 << occupancy) - 1) << start
+        # fold the wrap-around back into the low bits
+        return (mask | (mask >> ii)) & ((1 << ii) - 1)
+
+    def _free_unit(self, fu_class: FuClass, footprint: int) -> int | None:
+        """Lowest-numbered unit whose mask does not intersect
+        *footprint* (one AND per unit)."""
+        for unit, busy in enumerate(self._masks.get(fu_class, ())):
+            WORK.mrt_probes += 1
+            if not busy & footprint:
                 return unit
         return None
 
     # ------------------------------------------------------------------
     def can_place(self, opcode: Opcode, start: int) -> bool:
-        cycles = self._cycles(opcode, start)
-        if cycles is None:
+        footprint = self._footprint(opcode, start)
+        if footprint is None:
             return False
-        return self._free_unit(self.machine.fu_class(opcode), cycles) is not None
+        return (
+            self._free_unit(self.machine.fu_class(opcode), footprint)
+            is not None
+        )
 
     def place(self, name: str, opcode: Opcode, start: int) -> None:
         """Reserve resources for operation *name* starting at *start*.
@@ -61,19 +95,25 @@ class ModuloReservationTable:
         """
         if name in self._placements:
             raise RuntimeError(f"{name} is already placed")
-        cycles = self._cycles(opcode, start)
+        footprint = self._footprint(opcode, start)
         fu_class = self.machine.fu_class(opcode)
-        unit = None if cycles is None else self._free_unit(fu_class, cycles)
+        unit = (
+            None if footprint is None
+            else self._free_unit(fu_class, footprint)
+        )
         if unit is None:
             raise RuntimeError(f"no free {fu_class.value} unit for {name} at {start}")
+        cycles = self._cycles(opcode, start)
         for cycle in cycles:
             self._grid[fu_class][unit][cycle] = name
+        self._masks[fu_class][unit] |= footprint
         self._placements[name] = (fu_class, unit, cycles)
 
     def remove(self, name: str) -> None:
         fu_class, unit, cycles = self._placements.pop(name)
         for cycle in cycles:
             self._grid[fu_class][unit][cycle] = None
+            self._masks[fu_class][unit] &= ~(1 << cycle)
 
     def is_placed(self, name: str) -> bool:
         return name in self._placements

@@ -39,6 +39,7 @@ import contextlib
 import hashlib
 from dataclasses import dataclass, replace
 
+from repro.graph import index as _graph_index
 from repro.graph.ddg import DDG
 from repro.machine.machine import MachineConfig
 from repro.sched import store as _store_mod
@@ -179,6 +180,7 @@ def clear() -> None:
     _mii_cache.clear()
     _SCHEDULE_MEMO.clear()
     _SPILL_MEMO.clear()
+    _graph_index.clear_cache()
     STATS.mii_hits = STATS.mii_misses = 0
     STATS.schedule_hits = STATS.schedule_misses = 0
     STATS.spill_hits = STATS.spill_misses = 0

@@ -102,7 +102,7 @@ def unit_internally_schedulable(
     optimization) must also be satisfied at this II.
     """
     for member in unit.members:
-        for edge in ddg.out_edges(member):
+        for edge in ddg.iter_out_edges(member):
             if edge.dst not in unit.members or edge.fused:
                 continue
             slack = (
@@ -127,7 +127,7 @@ def earliest_start(
     outside the unit; ``None`` when no external predecessor is scheduled."""
     bound: int | None = None
     for member, offset in unit:
-        for edge in ddg.in_edges(member):
+        for edge in ddg.iter_in_edges(member):
             if edge.src not in times or edge.src in unit.members:
                 continue
             candidate = (
@@ -152,7 +152,7 @@ def latest_start(
     the unit; ``None`` when no external successor is scheduled."""
     bound: int | None = None
     for member, offset in unit:
-        for edge in ddg.out_edges(member):
+        for edge in ddg.iter_out_edges(member):
             if edge.dst not in times or edge.dst in unit.members:
                 continue
             candidate = (

@@ -175,7 +175,7 @@ class IMSScheduler(ModuloScheduler):
     ) -> set[str]:
         violated: set[str] = set()
         for member in unit.members:
-            for edge in ddg.out_edges(member):
+            for edge in ddg.iter_out_edges(member):
                 if edge.dst in unit.members or edge.dst not in times:
                     continue
                 slack = (

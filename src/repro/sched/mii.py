@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import math
 
-from repro.graph.analysis import recurrence_components, recurrence_mii_of_scc
 from repro.graph.ddg import DDG
+from repro.graph.index import get_index
 from repro.ir.operations import FuClass
 from repro.machine.machine import MachineConfig
 
@@ -46,12 +46,15 @@ def res_mii(ddg: DDG, machine: MachineConfig) -> int:
 
 
 def rec_mii(ddg: DDG, machine: MachineConfig) -> int:
-    """Recurrence-constrained lower bound on the II."""
+    """Recurrence-constrained lower bound on the II.
+
+    All recurrences' RecMIIs come from the index's one shared pass —
+    the same memo :func:`repro.sched.ordering.partition_sets` and
+    :func:`repro.graph.analysis.critical_recurrence` read, so the
+    per-SCC binary searches happen once per ``(graph, latencies)``.
+    """
     latencies = machine.latencies_for(ddg)
-    bound = 1
-    for component in recurrence_components(ddg):
-        bound = max(bound, recurrence_mii_of_scc(ddg, component, latencies))
-    return bound
+    return get_index(ddg).latency_view(latencies).rec_mii()
 
 
 def compute_mii(ddg: DDG, machine: MachineConfig) -> int:

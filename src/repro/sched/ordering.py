@@ -21,44 +21,35 @@ Scheduling work):
 
 from __future__ import annotations
 
-from repro.graph.analysis import asap_alap, recurrence_components, recurrence_mii_of_scc
+from repro.graph.analysis import asap_alap
 from repro.graph.ddg import DDG
-
-
-def _reachable(ddg: DDG, seeds: set[str], forward: bool) -> set[str]:
-    seen = set(seeds)
-    frontier = list(seeds)
-    while frontier:
-        name = frontier.pop()
-        neighbours = (
-            ddg.successors(name) if forward else ddg.predecessors(name)
-        )
-        for other in neighbours:
-            if other not in seen:
-                seen.add(other)
-                frontier.append(other)
-    return seen
+from repro.graph.index import get_index
 
 
 def partition_sets(ddg: DDG, latencies: dict[str, int]) -> list[set[str]]:
-    """Recurrence-priority partition (step 1 above)."""
-    recurrences = recurrence_components(ddg)
-    recurrences.sort(
-        key=lambda comp: (
-            -recurrence_mii_of_scc(ddg, comp, latencies),
-            min(comp),
-        )
-    )
+    """Recurrence-priority partition (step 1 above).
+
+    Recurrences and their RecMIIs come from the index's shared per-SCC
+    pass (the same memo :func:`repro.sched.mii.rec_mii` fills), and
+    reachability runs over the CSR adjacency — no per-call edge-list
+    re-filtering or repeated binary searches.
+    """
+    index = get_index(ddg)
+    view = index.latency_view(latencies)
+    recurrences = [
+        (index.scc_names(sid), mii) for sid, mii in view.cyclic_recmii()
+    ]
+    recurrences.sort(key=lambda item: (-item[1], min(item[0])))
     sets: list[set[str]] = []
     taken: set[str] = set()
-    for component in recurrences:
-        subset = set(component) - taken
+    for component, _ in recurrences:
+        subset = component - taken
         if taken:
-            down = _reachable(ddg, taken, forward=True)
-            up = _reachable(ddg, set(component), forward=False)
+            down = index.reachable(taken, forward=True)
+            up = index.reachable(component, forward=False)
             subset |= (down & up) - taken
-            down_rec = _reachable(ddg, set(component), forward=True)
-            up_taken = _reachable(ddg, taken, forward=False)
+            down_rec = index.reachable(component, forward=True)
+            up_taken = index.reachable(taken, forward=False)
             subset |= (down_rec & up_taken) - taken
         if subset:
             sets.append(subset)

@@ -67,12 +67,12 @@ class SwingScheduler(HRMSScheduler):
         ii = self._ii
         for member, offset in unit:
             start = leader_time + offset
-            for edge in ddg.in_edges(member):
+            for edge in ddg.iter_in_edges(member):
                 if edge.src in times and edge.src not in unit.members:
                     cost += max(
                         0, start + ii * edge.distance - times[edge.src]
                     )
-            for edge in ddg.out_edges(member):
+            for edge in ddg.iter_out_edges(member):
                 if edge.dst in times and edge.dst not in unit.members:
                     cost += max(
                         0, times[edge.dst] + ii * edge.distance - start

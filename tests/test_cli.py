@@ -165,3 +165,55 @@ class TestSweep:
         out = capsys.readouterr().out
         assert code == 0
         assert "Table 1" in out
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir):
+        from repro.sched import cache as sched_cache
+
+        sched_cache.clear()  # cold memos: computations must write through
+        assert main([
+            "compile", "-e", FIG2, "--machine", "generic:4:2",
+            "--registers", "6", "--method", "spill",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+
+    def test_stats_reports_namespaces_and_totals(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"store: {cache_dir}" in out
+        assert "schedule:" in out
+        assert "mii:" in out
+        assert "total:" in out
+
+    def test_clear_removes_every_entry(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not list(cache_dir.rglob("*.pkl"))
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "total: 0 entries" in capsys.readouterr().out
+
+    def test_env_default_directory(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "env-cache"
+        self._populate(cache_dir)
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["cache", "stats"]) == 0
+        assert f"store: {cache_dir}" in capsys.readouterr().out
+
+    def test_missing_directory_is_a_clean_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="no cache directory"):
+            main(["cache", "stats"])
+
+    def test_nonexistent_directory_is_not_created(self, tmp_path):
+        typo = tmp_path / "cachee"
+        with pytest.raises(SystemExit, match="not an existing directory"):
+            main(["cache", "clear", "--cache-dir", str(typo)])
+        assert not typo.exists()
