@@ -392,7 +392,7 @@ class Pipeline:
 
     # ------------------------------------------------------------------
     # the batch / service surface
-    def _normalize_request(self, request: dict) -> dict:
+    def normalize_request(self, request: dict) -> dict:
         """One request mapping → the full keyword set
         :func:`_service_compile` runs, with pipeline defaults filled in.
 
@@ -400,6 +400,11 @@ class Pipeline:
         ``machine``, ``scheduler``, ``strategy``, ``registers``,
         ``options``.  Anything else is an error — silently ignoring a
         key would change the request's meaning.
+
+        This is also the server's submit-time validator: a request that
+        normalizes cleanly here is guaranteed to batch cleanly through
+        :meth:`compile_many` later (same resolution path), so malformed
+        requests are rejected before they can poison a whole batch.
         """
         request = dict(request)
         if request.get("loop") is None:
@@ -446,7 +451,7 @@ class Pipeline:
         out over a process pool whose workers share this pipeline's
         persistent store (or the process-wide active one).
         """
-        normalized = [self._normalize_request(r) for r in requests]
+        normalized = [self.normalize_request(r) for r in requests]
         if jobs <= 1 or len(normalized) <= 1:
             # The store context must not be held across a yield: this
             # is a generator, and a suspended (or abandoned) stream

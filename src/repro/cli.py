@@ -32,13 +32,20 @@ Subcommands:
   tables on stdout and machine-readable JSON via ``--json-out``
   (deterministic for any ``--jobs`` value);
 * ``cache`` — operator hygiene for a shared persistent store
-  (``repro cache stats`` / ``repro cache clear``) without writing any
-  Python.
+  (``repro cache stats`` / ``clear`` / ``prune --max-bytes N``) without
+  writing any Python;
+* ``serve`` — the long-lived compilation daemon
+  (:mod:`repro.server`): one warm worker pool and one shared store
+  across every client, request batching and in-flight coalescing, over
+  stdio (default), ``--socket PATH`` or ``--http PORT``;
+* ``compile --connect ADDR`` — hand the request to a running daemon
+  (via :mod:`repro.client`) instead of compiling in-process.
 
-``compile`` and ``sweep`` take ``--cache-dir DIR`` (default:
+``compile``, ``sweep`` and ``serve`` take ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``): a persistent :mod:`repro.sched.store` directory
 shared by every worker process and every later run — a repeated sweep
-into the same directory is served from disk (see ``docs/CACHING.md``).
+into the same directory is served from disk (see ``docs/CACHING.md``) —
+plus ``--max-bytes N`` to set the store's eviction cap.
 """
 
 from __future__ import annotations
@@ -74,18 +81,25 @@ def _machine_from(args):
 def _cache_from(args):
     """Resolve ``--cache-dir`` into a store up front, so a bad path (an
     existing file, an unwritable parent) is a clean CLI error instead of
-    a traceback mid-run."""
+    a traceback mid-run.  ``--max-bytes`` (where the subcommand takes
+    it) overrides the store's eviction cap for the run."""
     from repro.sched import store as sched_store
 
     if args.cache_dir is None:
         return None
     try:
-        return sched_store.resolve_store(args.cache_dir)
+        store = sched_store.resolve_store(args.cache_dir)
     except OSError as error:
         raise SystemExit(
             f"repro: cannot use cache directory {args.cache_dir!r}:"
             f" {error}"
         )
+    max_bytes = getattr(args, "max_bytes", None)
+    if max_bytes is not None:
+        if max_bytes <= 0:
+            raise SystemExit("repro: --max-bytes must be positive")
+        store.max_bytes = max_bytes
+    return store
 
 
 def _source_from(args) -> str:
@@ -120,6 +134,8 @@ def _cmd_compile(args) -> int:
     # third-party registrations) without a name list here.
     if "policy" in strategy_options(args.method):
         options["policy"] = "max_lt" if args.policy == "lt" else "max_lt_traf"
+    if args.connect:
+        return _compile_connected(args, options)
     try:
         result = compile_loop(
             _source_from(args),
@@ -153,6 +169,46 @@ def _cmd_compile(args) -> int:
     if args.json:
         print(result.to_json_text())
     _show(args, schedule)
+    return 0 if result.converged else 1
+
+
+def _compile_connected(args, options: dict) -> int:
+    """``repro compile --connect ADDR``: hand the request to a running
+    ``repro serve`` daemon and print its (service-shaped) result."""
+    from repro.client import ClientError, connect
+
+    if args.show or args.stage_pass:
+        raise SystemExit(
+            "repro compile: --show/--stage-pass need the schedule"
+            " artifact, which does not cross the wire; drop --connect"
+        )
+    if args.cache_dir is not None or args.max_bytes is not None:
+        raise SystemExit(
+            "repro compile: --cache-dir/--max-bytes configure the"
+            " in-process store; the daemon owns its own cache"
+            " (start it with 'repro serve --cache-dir ...')"
+        )
+    try:
+        with connect(args.connect, fallback=False) as client:
+            result = client.compile(
+                _source_from(args),
+                name=args.name,
+                machine=args.machine,
+                scheduler=args.scheduler,
+                strategy=args.method,
+                registers=args.registers,
+                options=options,
+            )
+    except (OSError, ClientError, ValueError) as error:
+        raise SystemExit(f"repro compile: --connect {args.connect}: {error}")
+    # mirror the local path: "FAILED" when no schedule exists at all
+    # (ii is None), the render() verdict line otherwise
+    if result.ii is None:
+        print(f"FAILED: {result.reason}")
+    else:
+        print(result.render())
+    if args.json:
+        print(result.to_json_text())
     return 0 if result.converged else 1
 
 
@@ -220,9 +276,15 @@ def _cmd_sweep(args) -> int:
 
     try:
         machines = [resolve_machine(spec) for spec in args.machines]
-        scheduler = create_scheduler(args.scheduler)
+        names = [
+            part.strip() for part in args.scheduler.split(",") if part.strip()
+        ]
+        if not names:
+            raise ValueError("--scheduler needs at least one name")
+        schedulers = [create_scheduler(name) for name in names]
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}")
+    scheduler = schedulers if len(schedulers) > 1 else schedulers[0]
     if args.suite == "club":
         suite = perfect_club_like_suite(size=args.size, seed=args.seed)
         suite_info = {"kind": "club", "seed": args.seed}
@@ -246,16 +308,20 @@ def _cmd_sweep(args) -> int:
             "load_mix": args.load_mix,
             "store_mix": args.store_mix,
         }
-    report = run_sweep(
-        suite=suite,
-        machines=machines,
-        budgets=tuple(args.budgets),
-        artifacts=tuple(args.artifacts),
-        jobs=args.jobs,
-        scheduler=scheduler,
-        suite_info=suite_info,
-        cache_dir=_cache_from(args),
-    )
+    try:
+        report = run_sweep(
+            suite=suite,
+            machines=machines,
+            budgets=tuple(args.budgets),
+            artifacts=tuple(args.artifacts),
+            jobs=args.jobs,
+            scheduler=scheduler,
+            suite_info=suite_info,
+            cache_dir=_cache_from(args),
+            suite_filter=args.suite_filter,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro sweep: {error}")
     print(report.render())
     if args.json_out:
         with open(args.json_out, "w") as handle:
@@ -294,25 +360,18 @@ def _cmd_cache(args) -> int:
             f"repro: cannot use cache directory {directory!r}: {error}"
         )
     if args.cache_command == "stats":
-        per_namespace: dict[str, tuple[int, int]] = {}
-        for path in store.entries():
-            namespace = path.relative_to(store.root).parts[0]
-            count, size = per_namespace.get(namespace, (0, 0))
-            try:
-                size += path.stat().st_size
-            except OSError:
-                pass
-            per_namespace[namespace] = (count + 1, size)
-        total_entries = sum(count for count, _ in per_namespace.values())
-        total_bytes = sum(size for _, size in per_namespace.values())
-        print(f"store: {store.root}")
-        print(f"version: {store.version}")
-        for namespace in sorted(per_namespace):
-            count, size = per_namespace[namespace]
-            print(f"  {namespace:>10}: {count} entries, {size} bytes")
+        telemetry = store.stats()
+        print(f"store: {telemetry['root']}")
+        print(f"version: {telemetry['version']}")
+        for namespace in sorted(telemetry["namespaces"]):
+            block = telemetry["namespaces"][namespace]
+            print(
+                f"  {namespace:>10}: {block['entries']} entries,"
+                f" {block['bytes']} bytes"
+            )
         print(
-            f"total: {total_entries} entries, {total_bytes} bytes"
-            f" (cap {store.max_bytes})"
+            f"total: {telemetry['entries']} entries,"
+            f" {telemetry['total_bytes']} bytes (cap {store.max_bytes})"
         )
         return 0
     if args.cache_command == "clear":
@@ -320,7 +379,35 @@ def _cmd_cache(args) -> int:
         store.clear()
         print(f"cleared {removed} entries from {store.root}")
         return 0
+    if args.cache_command == "prune":
+        max_bytes = args.max_bytes  # only the prune subparser has it
+        if max_bytes is not None and max_bytes <= 0:
+            raise SystemExit("repro cache: --max-bytes must be positive")
+        before = store.total_bytes()
+        remaining = store.evict(max_bytes)
+        cap = max_bytes if max_bytes is not None else store.max_bytes
+        print(
+            f"pruned {store.root}: {before} -> {remaining} bytes"
+            f" (cap {cap})"
+        )
+        return 0
     raise SystemExit(f"repro cache: unknown action {args.cache_command!r}")
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import CompileService, serve
+
+    if args.jobs < 1:
+        raise SystemExit("repro serve: --jobs must be >= 1")
+    if args.http is not None and not (0 <= args.http <= 65535):
+        raise SystemExit("repro serve: --http PORT must be 0..65535")
+    service = CompileService(cache=_cache_from(args), jobs=args.jobs)
+    return serve(
+        service,
+        http_port=args.http,
+        socket_path=args.socket,
+        stdio=args.stdio,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,6 +451,16 @@ def build_parser() -> argparse.ArgumentParser:
         " default: $REPRO_CACHE_DIR if set)",
     )
     compile_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="size cap for --cache-dir eviction (default 512 MiB)",
+    )
+    compile_parser.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="send the request to a running 'repro serve' daemon"
+        " (http://host:port or a unix-socket path) instead of"
+        " compiling in-process",
+    )
+    compile_parser.add_argument(
         "--show", nargs="*", choices=_SHOW_CHOICES, metavar="SECTION",
         help=f"artifacts to print: {', '.join(_SHOW_CHOICES)}",
     )
@@ -404,6 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
         " served from disk; default: $REPRO_CACHE_DIR if set)",
     )
     sweep_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="size cap for --cache-dir eviction (default 512 MiB)",
+    )
+    sweep_parser.add_argument(
         "--artifacts", nargs="+", metavar="NAME",
         choices=("table1", "fig4", "fig7", "fig8", "fig9"),
         default=["table1", "fig8"],
@@ -416,8 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
         " or generic:UNITS:LATENCY",
     )
     sweep_parser.add_argument(
-        "--scheduler", choices=tuple(scheduler_names()), default="hrms",
-        help="modulo scheduler every cell runs on (default hrms)",
+        "--scheduler", default="hrms", metavar="NAME[,NAME...]",
+        help="modulo scheduler(s) every cell runs on — a comma-separated"
+        f" list of {', '.join(scheduler_names())} runs the whole grid"
+        " once per scheduler into one combined artifact (default hrms)",
+    )
+    sweep_parser.add_argument(
+        "--suite-filter", metavar="CATEGORY[,CATEGORY...]", default=None,
+        help="restrict the suite to the named workload categories"
+        " (e.g. high_pressure,nonconvergent)",
     )
     sweep_parser.add_argument(
         "--budgets", nargs="+", type=int, default=[64, 32], metavar="N",
@@ -461,13 +569,56 @@ def build_parser() -> argparse.ArgumentParser:
     for action, description in (
         ("stats", "entry counts and bytes per namespace"),
         ("clear", "delete every entry (the directory is kept)"),
+        ("prune", "evict oldest entries down to the size cap"),
     ):
         action_parser = cache_sub.add_parser(action, help=description)
         action_parser.add_argument(
             "--cache-dir", metavar="DIR", default=None,
             help="store directory (default: $REPRO_CACHE_DIR)",
         )
+        if action == "prune":
+            action_parser.add_argument(
+                "--max-bytes", type=int, default=None, metavar="N",
+                help="evict down to this cap instead of the store's"
+                " default (512 MiB)",
+            )
         action_parser.set_defaults(func=_cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived compilation daemon (warm pool + shared"
+        " store across clients)",
+    )
+    serve_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker-pool width per batch (1 = compile in the daemon"
+        " process; default 1)",
+    )
+    serve_parser.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve HTTP on 127.0.0.1:PORT (0 picks a free port;"
+        " endpoints: POST /compile, POST /compile_many, GET /healthz,"
+        " GET /stats, POST /shutdown)",
+    )
+    serve_parser.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve the line-delimited JSON protocol on a unix socket",
+    )
+    serve_parser.add_argument(
+        "--stdio", action="store_true",
+        help="serve the line protocol on stdin/stdout (the default when"
+        " neither --http nor --socket is given)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent schedule cache the daemon owns for its whole"
+        " lifetime (default: $REPRO_CACHE_DIR if set)",
+    )
+    serve_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="size cap for --cache-dir eviction (default 512 MiB)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,373 @@
+"""Client for the ``repro serve`` compilation daemon.
+
+:func:`connect` returns a client whose :meth:`~CompileClient.compile`
+mirrors :func:`repro.api.compile_loop`'s signature and returns the same
+:class:`~repro.api.CompilationResult` — except the compilation runs in
+the daemon's warm pipeline (shared pool, shared store, warm memos), and
+the result is the deterministic *service shape* (volatile telemetry
+zeroed, heavyweight artifacts stripped), byte-identical to an
+in-process :meth:`repro.api.Pipeline.compile_many` result::
+
+    from repro.client import connect
+
+    with connect("http://127.0.0.1:8923") as client:
+        result = client.compile("x[i] = y[i]*a + y[i-3]", registers=16)
+        print(result.render())
+
+Address forms: ``http://host:port`` (the HTTP transport) or a
+filesystem path (the unix-socket line protocol).  ``connect()`` with no
+address reads ``$REPRO_SERVER``; when no server is configured or
+reachable it falls back — unless ``fallback=False`` — to a
+:class:`LocalClient` that compiles in-process through a private
+:class:`~repro.api.Pipeline`, so library code can *always* call
+``connect().compile(...)`` and only gain speed when a daemon is up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import urllib.error
+import urllib.request
+
+from repro.api import CompilationResult, Pipeline
+
+#: Environment variable naming the default server address.
+ENV_SERVER = "REPRO_SERVER"
+
+_UNSET = object()
+
+
+class ClientError(RuntimeError):
+    """A server-side failure or protocol violation."""
+
+
+def _request_mapping(
+    source, name, machine, scheduler, strategy, registers, options
+) -> dict:
+    """The compile-request wire mapping: only explicitly-given fields
+    are sent, so the server's pipeline defaults fill the rest (they are
+    ``compile_loop``'s defaults)."""
+    if not isinstance(source, str):
+        raise ValueError(
+            "remote compilation needs mini-language source text"
+            f" (got {type(source).__name__}); DDG inputs only work"
+            " with the in-process LocalClient"
+        )
+    request: dict = {"loop": source, "name": name}
+    if machine is not None:
+        request["machine"] = str(machine)
+    if scheduler is not None:
+        request["scheduler"] = str(scheduler)
+    if strategy is not None:
+        request["strategy"] = str(strategy)
+    if registers is not _UNSET:
+        request["registers"] = registers
+    if options is not None:
+        request["options"] = dict(options)
+    return request
+
+
+#: Request fields :func:`connect` accepts as client-level defaults.
+_DEFAULT_KEYS = frozenset(
+    {"machine", "scheduler", "strategy", "registers", "options"}
+)
+
+
+class _BaseClient:
+    """The shared client surface (context manager + call signatures).
+
+    ``defaults`` holds client-level request defaults (the
+    :func:`connect` ``pipeline_defaults``): they are merged into every
+    outgoing request mapping, so the *request* is identical whether a
+    daemon or the local fallback serves it — availability changes
+    latency, never the compilation parameters.
+    """
+
+    transport = "base"
+
+    def __init__(self) -> None:
+        self.defaults: dict = {}
+
+    def _apply_defaults(self, request: dict) -> dict:
+        if not self.defaults:
+            return dict(request)
+        merged = dict(request)
+        for key, value in self.defaults.items():
+            merged.setdefault(key, value)
+        return merged
+
+    def compile(
+        self,
+        source,
+        name: str = "loop",
+        machine=None,
+        scheduler=None,
+        strategy: str | None = None,
+        registers=_UNSET,
+        options: dict | None = None,
+    ) -> CompilationResult:
+        """Compile one loop (the :func:`repro.api.compile_loop`
+        signature; omitted arguments use the server's defaults)."""
+        request = _request_mapping(
+            source, name, machine, scheduler, strategy, registers, options
+        )
+        return self.compile_request(request)
+
+    def compile_request(self, request: dict) -> CompilationResult:
+        raise NotImplementedError
+
+    def compile_many(self, requests) -> list[CompilationResult]:
+        raise NotImplementedError
+
+    def healthz(self) -> dict:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (no-op for the local fallback)."""
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SocketClient(_BaseClient):
+    """Line-protocol client over a unix domain socket."""
+
+    transport = "socket"
+
+    def __init__(self, path: str, timeout: float = 60.0) -> None:
+        super().__init__()
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def _call(self, op: str, **fields) -> dict:
+        self._next_id += 1
+        message = {"op": op, "id": self._next_id, **fields}
+        self._file.write(
+            (json.dumps(message, sort_keys=True) + "\n").encode()
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ClientError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ClientError(
+                f"response id {response.get('id')!r} does not match"
+                f" request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            raise ClientError(response.get("error", "unknown server error"))
+        return response
+
+    def compile_request(self, request: dict) -> CompilationResult:
+        response = self._call(
+            "compile", request=self._apply_defaults(request)
+        )
+        return CompilationResult.from_json(response["result"])
+
+    def compile_many(self, requests) -> list[CompilationResult]:
+        response = self._call(
+            "compile_many",
+            requests=[self._apply_defaults(r) for r in requests],
+        )
+        return [
+            CompilationResult.from_json(document)
+            for document in response["results"]
+        ]
+
+    def healthz(self) -> dict:
+        return self._call("health")["health"]
+
+    def stats(self) -> dict:
+        return self._call("stats")["stats"]
+
+    def shutdown(self) -> None:
+        self._call("shutdown")
+
+    def close(self) -> None:
+        import contextlib
+
+        with contextlib.suppress(OSError):
+            self._file.close()
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+class HTTPClient(_BaseClient):
+    """Client for the HTTP transport (standard library only)."""
+
+    transport = "http"
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        super().__init__()
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, path: str, payload=None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as r:
+                return json.loads(r.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", str(error))
+            except Exception:
+                message = str(error)
+            raise ClientError(message) from error
+        except urllib.error.URLError as error:
+            raise ClientError(f"server unreachable: {error.reason}") from error
+
+    def compile_request(self, request: dict) -> CompilationResult:
+        return CompilationResult.from_json(
+            self._call("/compile", self._apply_defaults(request))
+        )
+
+    def compile_many(self, requests) -> list[CompilationResult]:
+        response = self._call(
+            "/compile_many", [self._apply_defaults(r) for r in requests]
+        )
+        return [
+            CompilationResult.from_json(document)
+            for document in response["results"]
+        ]
+
+    def healthz(self) -> dict:
+        return self._call("/healthz")
+
+    def stats(self) -> dict:
+        return self._call("/stats")
+
+    def shutdown(self) -> None:
+        self._call("/shutdown", payload={})
+
+
+class LocalClient(_BaseClient):
+    """The in-process fallback: the same surface, no daemon.
+
+    Results go through :meth:`Pipeline.compile_many`, so they are the
+    identical service shape a daemon would return — switching between
+    local and remote changes latency, never bytes.
+    """
+
+    transport = "local"
+
+    def __init__(self, pipeline: Pipeline | None = None) -> None:
+        super().__init__()
+        self.pipeline = pipeline if pipeline is not None else Pipeline()
+
+    def compile(
+        self,
+        source,
+        name: str = "loop",
+        machine=None,
+        scheduler=None,
+        strategy: str | None = None,
+        registers=_UNSET,
+        options: dict | None = None,
+    ) -> CompilationResult:
+        # unlike the wire clients, DDG inputs are fine in-process
+        request: dict = {"loop": source, "name": name}
+        if machine is not None:
+            request["machine"] = machine
+        if scheduler is not None:
+            request["scheduler"] = scheduler
+        if strategy is not None:
+            request["strategy"] = strategy
+        if registers is not _UNSET:
+            request["registers"] = registers
+        if options is not None:
+            request["options"] = dict(options)
+        return self.compile_request(request)
+
+    def compile_request(self, request: dict) -> CompilationResult:
+        return self.pipeline.compile_many([self._apply_defaults(request)])[0]
+
+    def compile_many(self, requests) -> list[CompilationResult]:
+        return self.pipeline.compile_many(
+            [self._apply_defaults(r) for r in requests]
+        )
+
+    def healthz(self) -> dict:
+        return {"status": "ok", "transport": "local"}
+
+    def stats(self) -> dict:
+        from repro.sched.cache import STATS
+
+        return {"transport": "local", "cache": STATS.as_dict()}
+
+
+def client_for(address: str, timeout: float = 60.0) -> _BaseClient:
+    """The wire client for one address: ``http(s)://...`` → HTTP,
+    anything else is a unix-socket path."""
+    if address.startswith(("http://", "https://")):
+        return HTTPClient(address, timeout=timeout)
+    return SocketClient(address, timeout=timeout)
+
+
+def connect(
+    address: str | None = None,
+    fallback: bool = True,
+    timeout: float = 60.0,
+    **pipeline_defaults,
+) -> _BaseClient:
+    """Connect to a compilation daemon, or fall back to in-process.
+
+    *address* defaults to ``$REPRO_SERVER``.  Reachability is verified
+    with a health probe; an unreachable (or unconfigured) server
+    returns a :class:`LocalClient` unless ``fallback=False``, in which
+    case the connection error (or a :class:`ValueError` when no address
+    was given at all) propagates.
+
+    *pipeline_defaults* (``machine``/``scheduler``/``strategy``/
+    ``registers``/``options``) become client-level request defaults,
+    merged into every outgoing request **whichever client is returned**
+    — a remote daemon and the local fallback see the identical request,
+    so server availability never changes what gets compiled.  When a
+    daemon may serve them, the values must be the wire forms (spec
+    strings, not machine/scheduler instances).
+    """
+    unknown = sorted(set(pipeline_defaults) - _DEFAULT_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown connect() default(s): {', '.join(map(repr, unknown))}"
+            f" (accepted: {', '.join(sorted(_DEFAULT_KEYS))})"
+        )
+    address = address if address is not None else os.environ.get(ENV_SERVER)
+    client: _BaseClient | None = None
+    if address:
+        try:
+            client = client_for(address, timeout=timeout)
+            client.healthz()
+        except (OSError, ClientError, ValueError):
+            if not fallback:
+                raise
+            client = None
+    elif not fallback:
+        raise ValueError(
+            f"no server address (pass one or set ${ENV_SERVER})"
+        )
+    if client is None:
+        client = LocalClient()
+    client.defaults = dict(pipeline_defaults)
+    return client

@@ -515,7 +515,14 @@ class SweepReport:
     jobs: int
 
     def render(self) -> str:
-        blocks = [self.artifacts[name].render() for name in sorted(self.artifacts)]
+        blocks = []
+        for name in sorted(self.artifacts):
+            rendered = self.artifacts[name].render()
+            if "@" in name:
+                # multi-scheduler sweeps key artifacts as name@scheduler;
+                # the result objects' own titles do not carry the axis
+                rendered = f"[{name}]\n{rendered}"
+            blocks.append(rendered)
         blocks.append(self.summary())
         return "\n\n".join(blocks)
 
@@ -563,6 +570,7 @@ class SweepReport:
 
 
 def _artifact_json(name: str, result) -> dict:
+    name = name.split("@", 1)[0]  # "table1@swing" → the table1 shape
     if name == "table1":
         return {"rows": [list(row) for row in result.rows]}
     if name == "fig4":
@@ -591,58 +599,102 @@ def _artifact_json(name: str, result) -> dict:
     raise ValueError(f"unknown artifact {name!r}")
 
 
+def filter_suite(suite: list[Workload], categories) -> list[Workload]:
+    """The workloads of *suite* whose ``category`` is in *categories*
+    (a comma-separated string or an iterable).  Unknown categories and
+    an empty selection raise :class:`ValueError` — a silent empty sweep
+    would look like a clean zero-row artifact."""
+    if isinstance(categories, str):
+        wanted = {part.strip() for part in categories.split(",") if part.strip()}
+    else:
+        wanted = {str(part) for part in categories}
+    available = {workload.category for workload in suite}
+    unknown = sorted(wanted - available)
+    if unknown:
+        raise ValueError(
+            f"unknown suite categor{'y' if len(unknown) == 1 else 'ies'}"
+            f" {', '.join(map(repr, unknown))}"
+            f" (this suite has: {', '.join(sorted(available))})"
+        )
+    filtered = [w for w in suite if w.category in wanted]
+    if not filtered:
+        raise ValueError("suite filter selected no workloads")
+    return filtered
+
+
 def run_sweep(
     suite: list[Workload] | None = None,
     machines: list[MachineConfig] | None = None,
     budgets: tuple[int, ...] = (64, 32),
     artifacts: tuple[str, ...] = ("table1", "fig8"),
     jobs: int = 1,
-    scheduler: ModuloScheduler | None = None,
+    scheduler: "ModuloScheduler | list | tuple | None" = None,
     suite_info: dict | None = None,
     cache_dir: "str | sched_store.ScheduleStore | None" = None,
+    suite_filter: "str | list[str] | None" = None,
 ) -> SweepReport:
     """Regenerate the requested paper artifacts in one engine pass.
 
-    ``cache_dir`` (a directory path or a
-    :class:`~repro.sched.store.ScheduleStore`) activates the persistent
-    store for the whole sweep (parent process and every worker) — a
-    repeated sweep into the same directory is served from disk and
-    produces byte-identical JSON.
+    ``scheduler`` may be a list/tuple: the whole artifact grid is then
+    run once per scheduler into one combined report, with artifact keys
+    ``"table1@hrms"``-style and every cell carrying its scheduler (one
+    jobs-deterministic JSON document for the entire grid).
+    ``suite_filter`` restricts the suite to the named workload
+    categories (see :func:`filter_suite`).  ``cache_dir`` (a directory
+    path or a :class:`~repro.sched.store.ScheduleStore`) activates the
+    persistent store for the whole sweep (parent process and every
+    worker) — a repeated sweep into the same directory is served from
+    disk and produces byte-identical JSON.
     """
     if cache_dir is not None:
         with sched_store.using(cache_dir):
             return run_sweep(
                 suite=suite, machines=machines, budgets=budgets,
                 artifacts=artifacts, jobs=jobs, scheduler=scheduler,
-                suite_info=suite_info,
+                suite_info=suite_info, suite_filter=suite_filter,
             )
     from repro.eval import experiments
     from repro.machine.machine import paper_configurations
     from repro.workloads.suite import perfect_club_like_suite
 
     suite = suite if suite is not None else perfect_club_like_suite()
+    if suite_filter:
+        suite = filter_suite(suite, suite_filter)
     machines = machines if machines is not None else paper_configurations()
-    runners = {
-        "table1": lambda: experiments.run_table1(
-            suite, machines, budgets, scheduler=scheduler, jobs=jobs
-        ),
-        # fig4 and fig7 are single-machine curves: they follow the first
-        # machine filter and their own register targets, not the sweep
-        # budgets.
-        "fig4": lambda: experiments.run_fig4(
-            machine=machines[0], scheduler=scheduler, jobs=jobs
-        ),
-        "fig7": lambda: experiments.run_fig7(
-            machine=machines[0], scheduler=scheduler, jobs=jobs
-        ),
-        "fig8": lambda: experiments.run_fig8(
-            suite, machines, budgets, scheduler=scheduler, jobs=jobs
-        ),
-        "fig9": lambda: experiments.run_fig9(
-            suite, machines, budgets, scheduler=scheduler, jobs=jobs
-        ),
-    }
-    unknown = set(artifacts) - set(runners)
+    if isinstance(scheduler, (list, tuple)):
+        schedulers = list(scheduler) if scheduler else [None]
+    else:
+        schedulers = [scheduler]
+    scheduler_labels = [scheduler_name(s) for s in schedulers]
+    if len(set(scheduler_labels)) != len(scheduler_labels):
+        raise ValueError(
+            f"duplicate schedulers in sweep: {scheduler_labels}"
+        )
+    multi = len(schedulers) > 1
+
+    def runners_for(sched):
+        return {
+            "table1": lambda: experiments.run_table1(
+                suite, machines, budgets, scheduler=sched, jobs=jobs
+            ),
+            # fig4 and fig7 are single-machine curves: they follow the
+            # first machine filter and their own register targets, not
+            # the sweep budgets.
+            "fig4": lambda: experiments.run_fig4(
+                machine=machines[0], scheduler=sched, jobs=jobs
+            ),
+            "fig7": lambda: experiments.run_fig7(
+                machine=machines[0], scheduler=sched, jobs=jobs
+            ),
+            "fig8": lambda: experiments.run_fig8(
+                suite, machines, budgets, scheduler=sched, jobs=jobs
+            ),
+            "fig9": lambda: experiments.run_fig9(
+                suite, machines, budgets, scheduler=sched, jobs=jobs
+            ),
+        }
+
+    unknown = set(artifacts) - set(runners_for(None))
     if unknown:
         raise ValueError(f"unknown artifacts: {sorted(unknown)}")
 
@@ -650,11 +702,14 @@ def run_sweep(
     produced = {}
     results: list[CellResult] = []
     cache = CacheStats()
-    for name in artifacts:
-        produced[name] = runners[name]()
-        run = produced[name].engine_run
-        results.extend(run.results)
-        cache.add(run.cache)
+    for sched, label in zip(schedulers, scheduler_labels):
+        runners = runners_for(sched)
+        for name in artifacts:
+            result = runners[name]()
+            produced[f"{name}@{label}" if multi else name] = result
+            run = result.engine_run
+            results.extend(run.results)
+            cache.add(run.cache)
     engine_run = EngineRun(
         results=results,
         jobs=jobs,
@@ -666,6 +721,12 @@ def run_sweep(
     info["machines"] = [machine_spec(m) for m in machines]
     info["budgets"] = list(budgets)
     info["artifacts"] = sorted(artifacts)
+    info["schedulers"] = scheduler_labels
+    if suite_filter:
+        info["suite_filter"] = (
+            suite_filter if isinstance(suite_filter, str)
+            else ",".join(suite_filter)
+        )
     return SweepReport(
         suite_info=info,
         artifacts=produced,

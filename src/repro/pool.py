@@ -42,6 +42,25 @@ def worker_pool(jobs: int) -> ProcessPoolExecutor:
     return _POOL
 
 
+def warm_pool(jobs: int) -> None:
+    """Spin the persistent pool up ahead of traffic (``repro serve``
+    does this at startup so the first batch does not pay worker
+    creation).  ``jobs <= 1`` means in-process compilation: no pool."""
+    if jobs > 1:
+        worker_pool(jobs)
+
+
+def pool_stats() -> dict:
+    """Telemetry snapshot of the persistent pool (the server's
+    ``/stats`` endpoint): whether one is alive, its width, and the
+    store its workers were initialized with."""
+    return {
+        "alive": _POOL is not None,
+        "jobs": _POOL_KEY[0] if _POOL_KEY is not None else 0,
+        "store": _POOL_KEY[1] if _POOL_KEY is not None else None,
+    }
+
+
 def shutdown_pool() -> None:
     """Tear down the persistent worker pool (harmless if none exists)."""
     global _POOL, _POOL_KEY

@@ -263,6 +263,32 @@ def machine_key(machine: MachineConfig) -> str:
     )
 
 
+def compile_request_key(
+    ddg: DDG,
+    machine: MachineConfig,
+    scheduler,
+    strategy: str,
+    registers: int | None,
+    options: dict | None,
+) -> tuple:
+    """The identity of one whole compile request — the same key material
+    the memo/store layers use (graph content fingerprint, machine,
+    scheduler configuration), extended with the strategy, budget and
+    options that select the driver.  Two requests with equal keys are
+    guaranteed the same :class:`~repro.api.CompilationResult` document,
+    which is what the server's in-flight request coalescing relies on
+    (the loop *name* is part of the result, so callers that care about
+    it must key on it separately — fingerprints ignore names)."""
+    return (
+        ddg_fingerprint(ddg),
+        machine_key(machine),
+        scheduler_key(scheduler),
+        str(strategy).lower(),
+        registers,
+        repr(sorted((options or {}).items())),
+    )
+
+
 def owned_schedule(schedule):
     """A caller-owned copy of a possibly memo-shared schedule.
 

@@ -143,7 +143,7 @@ class ScheduleStore:
         self._puts_since_evict += 1
         if self._puts_since_evict >= _EVICT_EVERY:
             self._puts_since_evict = 0
-            self._evict()
+            self.evict()
         return True
 
     # ------------------------------------------------------------------
@@ -165,12 +165,20 @@ class ScheduleStore:
             with contextlib.suppress(OSError):
                 path.unlink()
 
-    def _evict(self) -> None:
-        """Drop oldest entries until the store fits ``max_bytes``, and
-        reap temp files orphaned by writers killed mid-``put`` (they
-        match no entry glob, so nothing else would ever remove them)."""
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Run one eviction pass: drop oldest entries (by mtime) until
+        the store fits *max_bytes* (default: :attr:`max_bytes`), and reap
+        temp files orphaned by writers killed mid-``put`` (they match no
+        entry glob, so nothing else would ever remove them).
+
+        When over the cap, eviction aims 20% below it so the next few
+        writes do not immediately re-trigger a scan.  Returns the bytes
+        remaining on disk.  This is also the ``repro cache prune``
+        entry point.
+        """
         import time
 
+        cap = self.max_bytes if max_bytes is None else max_bytes
         stale = time.time() - 3600
         for temp in self.root.rglob("*.tmp"):
             with contextlib.suppress(OSError):
@@ -185,16 +193,44 @@ class ScheduleStore:
                 continue
             stamped.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
-        if total <= self.max_bytes:
-            return
+        if total <= cap:
+            return total
         # aim below the cap so eviction is not re-triggered immediately
-        target = int(self.max_bytes * 0.8)
+        target = int(cap * 0.8)
         for _, size, path in sorted(stamped):
             if total <= target:
                 break
             with contextlib.suppress(OSError):
                 path.unlink()
                 total -= size
+        return total
+
+    def stats(self) -> dict:
+        """Telemetry snapshot (the ``/stats`` endpoint's ``store``
+        block and ``repro cache stats``): entry count and bytes per
+        namespace plus the configured cap."""
+        namespaces: dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        for path in self.entries():
+            namespace = path.relative_to(self.root).parts[0]
+            block = namespaces.setdefault(
+                namespace, {"entries": 0, "bytes": 0}
+            )
+            block["entries"] += 1
+            total_entries += 1
+            with contextlib.suppress(OSError):
+                size = path.stat().st_size
+                block["bytes"] += size
+                total_bytes += size
+        return {
+            "root": str(self.root),
+            "version": self.version,
+            "entries": total_entries,
+            "total_bytes": total_bytes,
+            "max_bytes": self.max_bytes,
+            "namespaces": namespaces,
+        }
 
 
 # ----------------------------------------------------------------------

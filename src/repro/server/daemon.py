@@ -1,0 +1,318 @@
+"""Daemon transports: stdio, unix-socket and HTTP front ends.
+
+All three speak to one shared :class:`repro.server.service.CompileService`
+— one warm pool, one store, one coalescing queue — and differ only in
+framing:
+
+* **stdio** — the line protocol of :mod:`repro.server.protocol` on
+  stdin/stdout (the default for ``repro serve``; embed the daemon as a
+  subprocess and pipe requests);
+* **unix socket** (``repro serve --socket PATH``) — the same line
+  protocol, many concurrent connections, one handler thread each;
+* **HTTP** (``repro serve --http PORT``) — a minimal standard-library
+  endpoint: ``POST /compile`` and ``POST /compile_many`` take the same
+  request mappings, ``GET /healthz`` and ``GET /stats`` expose the
+  service telemetry, ``POST /shutdown`` stops the daemon.
+
+:func:`serve` wires any combination of the three to one service, prints
+one ``listening on ...`` line per transport to stderr (stdout belongs
+to the stdio protocol), and runs until EOF/SIGTERM/SIGINT or a
+``shutdown`` request.  Responses are byte-identical across transports:
+they all serialize the same ``repro.compile/1`` documents with sorted
+keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import socketserver
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.server import protocol
+from repro.server.service import CompileService
+
+
+# ----------------------------------------------------------------------
+# unix-socket transport
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one connection, many lines
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            # the shutdown op is acknowledged first, acted on after the
+            # ack is flushed — the client must never lose the response
+            # to daemon teardown
+            pending_shutdown = []
+            response = protocol.handle_line(
+                self.server.service, line,
+                shutdown=lambda: pending_shutdown.append(True),
+            )
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-response
+            if pending_shutdown:
+                self.server.stop_daemon()
+                return
+
+
+class LineSocketServer(socketserver.ThreadingUnixStreamServer):
+    """The line protocol on a unix domain socket (one thread per
+    connection; all threads feed the one shared service queue)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, path: str, service: CompileService, stop=None):
+        self.service = service
+        self._stop = stop
+        self.path = path
+        with contextlib.suppress(OSError):
+            os.unlink(path)  # a stale socket from a dead daemon
+        super().__init__(path, _LineHandler)
+
+    def stop_daemon(self) -> None:
+        if self._stop is not None:
+            self._stop()
+
+    def server_close(self) -> None:
+        super().server_close()
+        with contextlib.suppress(OSError):
+            os.unlink(self.path)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+class _HTTPHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # stderr, never stdout
+        sys.stderr.write(
+            f"repro serve: {self.address_string()} {format % args}\n"
+        )
+
+    def _send(self, status: int, document: dict) -> None:
+        body = protocol.encode(document)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        return json.loads(self.rfile.read(length) or b"null")
+
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send(200, service.healthz())
+        elif self.path == "/stats":
+            self._send(200, service.stats())
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        service = self.server.service
+        try:
+            if self.path == "/compile":
+                request = self._body()
+                if not isinstance(request, dict):
+                    raise ValueError("body must be one request mapping")
+                self._send(200, service.compile(request).to_json())
+            elif self.path == "/compile_many":
+                requests = self._body()
+                if not isinstance(requests, list):
+                    raise ValueError("body must be a list of mappings")
+                self._send(
+                    200, {"results": [r.to_json() for r in
+                                      service.compile_many(requests)]}
+                )
+            elif self.path == "/shutdown":
+                self._send(200, {"shutdown": True})
+                self.server.stop_daemon()
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send(400, {"error": str(error)})
+        except Exception as error:  # compile failures must not kill HTTP
+            self._send(500, {"error": str(error)})
+
+
+class CompileHTTPServer(ThreadingHTTPServer):
+    """``POST /compile|/compile_many``, ``GET /healthz|/stats``."""
+
+    daemon_threads = True
+
+    def __init__(self, port: int, service: CompileService, stop=None,
+                 host: str = "127.0.0.1"):
+        self.service = service
+        self._stop = stop
+        super().__init__((host, port), _HTTPHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def stop_daemon(self) -> None:
+        if self._stop is not None:
+            self._stop()
+
+
+# ----------------------------------------------------------------------
+# stdio transport
+def serve_stdio(service: CompileService, stdin=None, stdout=None,
+                stop=None) -> None:
+    """The line protocol on stdin/stdout; returns on EOF or after a
+    ``shutdown`` op."""
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
+    stopping = []
+
+    def stop_daemon():
+        stopping.append(True)
+        if stop is not None:
+            stop()
+
+    for line in stdin:
+        if not line.strip():
+            continue
+        response = protocol.handle_line(service, line, shutdown=stop_daemon)
+        stdout.write(protocol.encode(response))
+        stdout.flush()
+        if stopping:
+            return
+
+
+def _interruptible_lines(stop_event: threading.Event):
+    """Line iterator over the process's real stdin that polls
+    *stop_event* between reads.
+
+    The stdio transport runs in a daemon thread; a thread parked inside
+    ``BufferedReader.readline`` holds the stream's lock and aborts the
+    interpreter at finalization (``_enter_buffered_busy``).  Reading the
+    raw fd through a selector means the thread is never blocked longer
+    than one poll tick and exits promptly when the daemon stops.  Falls
+    back to plain iteration when stdin has no selectable fd (tests pass
+    in-memory streams).
+    """
+    import selectors
+
+    stream = sys.stdin.buffer
+    try:
+        fd = stream.fileno()
+        selector = selectors.DefaultSelector()
+        selector.register(fd, selectors.EVENT_READ)
+    except (AttributeError, OSError, ValueError):
+        yield from stream
+        return
+    buffered = b""
+    try:
+        while not stop_event.is_set():
+            if not selector.select(timeout=0.2):
+                continue
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                return  # EOF
+            buffered += chunk
+            while b"\n" in buffered:
+                line, buffered = buffered.split(b"\n", 1)
+                yield line + b"\n"
+    finally:
+        selector.close()
+
+
+# ----------------------------------------------------------------------
+def serve(
+    service: CompileService,
+    http_port: int | None = None,
+    socket_path: str | None = None,
+    stdio: bool = False,
+    log=None,
+) -> int:
+    """Run the daemon until EOF (stdio), SIGTERM/SIGINT, or a
+    ``shutdown`` request on any transport.  Starts whatever transports
+    are requested; with none requested, stdio is implied.  Returns the
+    process exit code (0 on a clean shutdown)."""
+    log = log if log is not None else (
+        lambda message: print(message, file=sys.stderr, flush=True)
+    )
+    if http_port is None and socket_path is None:
+        stdio = True
+    stop_event = threading.Event()
+    servers = []
+    threads = []
+    # handlers go in before any transport is announced: an operator (or
+    # CI) may signal the moment a "listening on" line appears
+    previous = {}
+    def _signal(signum, frame):
+        stop_event.set()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError):  # non-main thread
+            previous[signum] = signal.signal(signum, _signal)
+    try:
+        if http_port is not None:
+            http_server = CompileHTTPServer(
+                http_port, service, stop=stop_event.set
+            )
+            servers.append(http_server)
+            threads.append(threading.Thread(
+                target=http_server.serve_forever, daemon=True,
+                name="repro-serve-http",
+            ))
+            log(f"repro serve: listening on http://127.0.0.1:"
+                f"{http_server.port}")
+        if socket_path is not None:
+            line_server = LineSocketServer(
+                socket_path, service, stop=stop_event.set
+            )
+            servers.append(line_server)
+            threads.append(threading.Thread(
+                target=line_server.serve_forever, daemon=True,
+                name="repro-serve-socket",
+            ))
+            log(f"repro serve: listening on socket {socket_path}")
+        if stdio:
+            # stdio runs in its own thread like every other transport,
+            # so the main thread always waits on stop_event — a signal
+            # or a shutdown request on *any* transport stops the daemon
+            # even while stdin is blocked on a read
+            def stdio_loop():
+                try:
+                    serve_stdio(
+                        service, stdin=_interruptible_lines(stop_event)
+                    )
+                finally:
+                    stop_event.set()  # EOF (or shutdown op) stops cleanly
+            threads.append(threading.Thread(
+                target=stdio_loop, daemon=True, name="repro-serve-stdio",
+            ))
+            log("repro serve: line protocol on stdio")
+        for thread in threads:
+            thread.start()
+        try:
+            # poll rather than wait(): a signal handler that sets the
+            # event is then guaranteed to be noticed on the next tick,
+            # whatever the platform does to interrupted lock waits
+            while not stop_event.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            stop_event.set()
+    finally:
+        for signum, handler in previous.items():
+            with contextlib.suppress(ValueError):
+                signal.signal(signum, handler)
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        for thread in threads:
+            thread.join(timeout=5)
+        service.close()
+        log("repro serve: shut down cleanly")
+    return 0

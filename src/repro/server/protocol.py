@@ -1,0 +1,105 @@
+"""The line-delimited JSON wire protocol (schema ``repro.server/1``).
+
+One request per line, one response line per request — the same envelope
+over stdio, a unix socket, or any stream transport:
+
+    → {"op": "compile", "id": 1, "request": {"loop": "x[i] = y[i]+a"}}
+    ← {"id": 1, "ok": true, "result": {"schema": "repro.compile/1", ...}}
+
+Operations:
+
+=============  ========================================================
+op             meaning
+=============  ========================================================
+compile        ``request`` is one compile-request mapping (the
+               :meth:`repro.api.Pipeline.compile_many` shape); the
+               response carries one ``repro.compile/1`` document
+compile_many   ``requests`` is a list of mappings; the response carries
+               ``results`` in request order (duplicates coalesce onto
+               one computation server-side)
+stats          the service's ``/stats`` telemetry document
+health         the service's ``/healthz`` liveness document
+shutdown       acknowledge, then stop the daemon (local operator
+               convenience — the daemon is a trusted local service)
+=============  ========================================================
+
+Error responses are ``{"id": ..., "ok": false, "error": "message"}``;
+a line that is not valid JSON gets an ``id: null`` error response.
+Result documents are serialized with sorted keys, so a response line is
+byte-stable and safe to compare across transports, job counts and
+server restarts.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROTOCOL_SCHEMA = "repro.server/1"
+
+#: Operations a protocol line may carry.
+OPS = ("compile", "compile_many", "stats", "health", "shutdown")
+
+
+def encode(document: dict) -> bytes:
+    """One wire line: compact JSON with sorted keys plus newline."""
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def ok_response(request_id, **payload) -> dict:
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(request_id, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": str(message)}
+
+
+def handle_line(service, line: "str | bytes", shutdown=None) -> dict:
+    """Dispatch one protocol line against *service* and return the
+    response document.  Never raises: every failure mode — bad JSON, an
+    unknown op, a malformed request, a compile-time error — becomes an
+    ``ok: false`` response so one poisoned line cannot kill a
+    connection.  *shutdown* is called (if given) after a ``shutdown``
+    op is acknowledged.
+    """
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        return error_response(None, f"invalid JSON: {error}")
+    if not isinstance(message, dict):
+        return error_response(None, "protocol line must be a JSON object")
+    request_id = message.get("id")
+    op = message.get("op")
+    try:
+        if op == "compile":
+            request = message.get("request")
+            if not isinstance(request, dict):
+                raise ValueError("'compile' needs a 'request' mapping")
+            result = service.compile(request)
+            return ok_response(request_id, result=result.to_json())
+        if op == "compile_many":
+            requests = message.get("requests")
+            if not isinstance(requests, list) or not all(
+                isinstance(request, dict) for request in requests
+            ):
+                raise ValueError(
+                    "'compile_many' needs a 'requests' list of mappings"
+                )
+            results = service.compile_many(requests)
+            return ok_response(
+                request_id, results=[result.to_json() for result in results]
+            )
+        if op == "stats":
+            return ok_response(request_id, stats=service.stats())
+        if op == "health":
+            return ok_response(request_id, health=service.healthz())
+        if op == "shutdown":
+            if shutdown is not None:
+                shutdown()
+            return ok_response(request_id, shutdown=True)
+        raise ValueError(
+            f"unknown op {op!r} (expected one of: {', '.join(OPS)})"
+        )
+    except Exception as error:
+        return error_response(request_id, error)

@@ -1,0 +1,301 @@
+"""The transport-agnostic compilation service core.
+
+:class:`CompileService` is what every transport (stdio, socket, HTTP —
+see :mod:`repro.server.daemon`) hands requests to.  It owns exactly one
+:class:`repro.api.Pipeline` — and therefore one warm persistent worker
+pool and one shared :class:`repro.sched.store.ScheduleStore` — for the
+whole daemon lifetime, and turns many concurrent single-request clients
+into the batch shape the pipeline is fastest at:
+
+* **Request queue + batching.**  ``submit()`` enqueues and returns a
+  future; a dispatcher thread drains the queue, waits one short batch
+  window for stragglers, and runs the whole group through
+  :meth:`Pipeline.compile_many` — so eight clients arriving together
+  cost one batch, not eight independent compiles.
+* **In-flight coalescing.**  Requests are keyed by the same material the
+  memo/store layers use (:func:`repro.sched.cache.compile_request_key`:
+  DDG fingerprint, machine, scheduler, strategy, budget, options — plus
+  the loop name, which is part of the response document).  A request
+  whose key is already queued or executing does not enqueue again: it
+  receives the in-flight computation's future, so identical concurrent
+  requests schedule exactly once.
+* **Determinism.**  Results are the pipeline's service shape (volatile
+  fields — ``wall_seconds`` and the cache-warmth-dependent work
+  counters — zeroed, heavyweight artifacts stripped), so a served
+  response is byte-identical to a direct in-process
+  ``Pipeline.compile_many`` result, whatever the batching or coalescing
+  did.
+* **Telemetry.**  :meth:`stats` reports service counters (requests,
+  batches, coalesced, errors), the :class:`repro.sched.cache.CacheStats`
+  movement and the PR-4 :data:`repro.graph.index.WORK` counters for the
+  server lifetime, store telemetry, and the worker-pool state — the
+  ``/stats`` endpoint.  Note the cache/work counters are *parent
+  process* counters: with ``jobs > 1`` the schedule computations happen
+  in pool workers, so run the daemon with ``jobs=1`` (the default) when
+  the counters themselves are what you are after.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+from repro import pool as worker_pool_mod
+from repro.api import Pipeline
+from repro.graph.index import WORK
+from repro.sched import store as sched_store
+from repro.sched.cache import STATS, compile_request_key
+
+STATS_SCHEMA = "repro.server-stats/1"
+HEALTH_SCHEMA = "repro.server-health/1"
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by :meth:`CompileService.submit` after :meth:`close`."""
+
+
+class _Inflight:
+    """One queued-or-executing unique request and its shared future."""
+
+    __slots__ = ("future", "request")
+
+    def __init__(self, request: dict) -> None:
+        self.future: Future = Future()
+        self.request = request
+
+
+class CompileService:
+    """One warm pipeline behind a batching, coalescing request queue.
+
+    Arguments:
+        pipeline: the :class:`~repro.api.Pipeline` to serve (its
+            defaults fill omitted request fields).  Built from *cache*
+            with stock defaults when not given.
+        cache: persistent store directory (or
+            :class:`~repro.sched.store.ScheduleStore`) when *pipeline*
+            is not given.
+        jobs: pool width for each batch (``1`` = compile in the
+            dispatcher thread; memos still make repeats free).
+        batch_window: seconds the dispatcher waits after the first
+            queued request for more to arrive before compiling.
+        max_batch: largest group handed to one ``compile_many`` call.
+        start: start the dispatcher thread immediately.  Tests pass
+            ``False`` to stage several duplicate submissions and then
+            :meth:`start` the dispatcher, making coalescing assertions
+            deterministic.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline | None = None,
+        cache: "sched_store.ScheduleStore | str | None" = None,
+        jobs: int = 1,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        start: bool = True,
+    ) -> None:
+        self.pipeline = pipeline if pipeline is not None else Pipeline(cache=cache)
+        self.jobs = max(1, int(jobs))
+        self.batch_window = batch_window
+        self.max_batch = max(1, int(max_batch))
+        self.started_at = time.time()
+        self._lock = threading.Condition()
+        # pipeline state (the parsed-DDG cache and its eviction) is not
+        # thread-safe; every transport thread parses under this lock
+        self._parse_lock = threading.Lock()
+        self._queue: deque[tuple] = deque()
+        self._inflight: dict[tuple, _Inflight] = {}
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+        # lifetime baselines: /stats reports movement since construction
+        self._cache_base = STATS.snapshot()
+        self._work_base = WORK.snapshot()
+        self.requests_total = 0
+        self.coalesced_total = 0
+        self.batches_total = 0
+        self.compiled_total = 0
+        self.errors_total = 0
+        if self.jobs > 1:
+            # warm the shared pool under this pipeline's store so the
+            # first batch pays no worker spin-up
+            context = (
+                sched_store.using(self.pipeline.cache)
+                if self.pipeline.cache is not None
+                else contextlib.nullcontext()
+            )
+            with context:
+                worker_pool_mod.warm_pool(self.jobs)
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._dispatcher is not None or self._closed:
+                return
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-server-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def close(self) -> None:
+        """Stop accepting work, finish the queue, stop the dispatcher.
+        The worker pool is left alive (it is process-wide and shared)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._lock.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=30)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request_key(self, request: dict) -> tuple:
+        """The coalescing identity of *request*: the memo/store key
+        material plus the loop name (equal keys ⇒ byte-identical
+        response documents)."""
+        with self._parse_lock:
+            normalized = self.pipeline.normalize_request(request)
+            ddg = self.pipeline.ddg(normalized["loop"], normalized["name"])
+        return (
+            normalized["name"],
+            *compile_request_key(
+                ddg,
+                normalized["machine"],
+                normalized["scheduler"],
+                normalized["strategy"],
+                normalized["registers"],
+                normalized["options"],
+            ),
+        )
+
+    def submit(self, request: dict) -> Future:
+        """Enqueue one compile request mapping; returns a future
+        resolving to the service-shaped
+        :class:`~repro.api.CompilationResult`.
+
+        Raises :class:`ValueError` immediately on a malformed request
+        (unknown keys/machine/scheduler/strategy, unparsable loop) —
+        bad requests never reach the batch — and :class:`ServiceClosed`
+        after :meth:`close`.
+        """
+        key = self.request_key(request)  # validates; may raise
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("compile service is shut down")
+            self.requests_total += 1
+            entry = self._inflight.get(key)
+            if entry is not None:
+                self.coalesced_total += 1
+                return entry.future
+            entry = _Inflight(dict(request))
+            self._inflight[key] = entry
+            self._queue.append(key)
+            self._lock.notify_all()
+            return entry.future
+
+    def compile(self, request: dict, timeout: float | None = None):
+        """:meth:`submit` and wait: one service-shaped result."""
+        return self.submit(request).result(timeout=timeout)
+
+    def compile_many(self, requests, timeout: float | None = None) -> list:
+        """Submit a client batch and wait; results in request order.
+        Duplicates inside the batch coalesce onto one computation."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._lock.wait()
+                if not self._queue and self._closed:
+                    return
+            # one short window for concurrent clients to join the batch
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            with self._lock:
+                keys = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self.max_batch))
+                ]
+                batch = [(key, self._inflight[key]) for key in keys]
+            if batch:
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: list[tuple]) -> None:
+        requests = [entry.request for _, entry in batch]
+        try:
+            results = self.pipeline.compile_many(requests, jobs=self.jobs)
+        except BaseException as error:  # pool death, store I/O, bugs
+            with self._lock:
+                self.errors_total += len(batch)
+                for key, entry in batch:
+                    self._inflight.pop(key, None)
+            for _, entry in batch:
+                entry.future.set_exception(error)
+            return
+        with self._lock:
+            self.batches_total += 1
+            self.compiled_total += len(batch)
+            for key, _ in batch:
+                self._inflight.pop(key, None)
+        for (_, entry), result in zip(batch, results):
+            entry.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    def healthz(self) -> dict:
+        """Liveness document for ``/healthz`` (volatile fields are fine
+        here — health is operational, never byte-compared)."""
+        with self._lock:
+            queued = len(self._queue)
+            inflight = len(self._inflight)
+        return {
+            "schema": HEALTH_SCHEMA,
+            "status": "closed" if self._closed else "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.jobs,
+            "queued": queued,
+            "inflight": inflight,
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` document: service counters, cache/work counter
+        movement since the service started, store and pool telemetry."""
+        store = self.pipeline.cache
+        if store is None:
+            store = sched_store.active_store()
+        with self._lock:
+            counters = {
+                "requests": self.requests_total,
+                "coalesced": self.coalesced_total,
+                "batches": self.batches_total,
+                "compiled": self.compiled_total,
+                "errors": self.errors_total,
+                "queued": len(self._queue),
+                "inflight": len(self._inflight),
+            }
+        return {
+            "schema": STATS_SCHEMA,
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.jobs,
+            "service": counters,
+            "cache": STATS.delta(self._cache_base).as_dict(),
+            "work": WORK.delta(self._work_base).as_dict(),
+            "store": store.stats() if store is not None else None,
+            "pool": worker_pool_mod.pool_stats(),
+        }

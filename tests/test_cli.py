@@ -166,6 +166,54 @@ class TestSweep:
         assert code == 0
         assert "Table 1" in out
 
+    def test_sweep_multi_scheduler_grid(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "multi.json"
+        code = main([
+            "sweep", "--size", "6", "--machines", "P2L4",
+            "--budgets", "32", "--artifacts", "table1",
+            "--scheduler", "hrms,swing", "--json-out", str(path),
+        ])
+        assert code == 0
+        assert "[table1@hrms]" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert sorted(document["artifacts"]) == [
+            "table1@hrms", "table1@swing",
+        ]
+        assert {c["scheduler"] for c in document["cells"]} == {
+            "hrms", "swing",
+        }
+
+    def test_sweep_unknown_scheduler_in_list(self):
+        with pytest.raises(SystemExit, match="unknown scheduler"):
+            main([
+                "sweep", "--size", "4", "--artifacts", "table1",
+                "--scheduler", "hrms,vliw9000",
+            ])
+
+    def test_sweep_suite_filter(self, tmp_path):
+        import json
+
+        path = tmp_path / "filtered.json"
+        code = main([
+            "sweep", "--size", "8", "--machines", "P2L4",
+            "--budgets", "32", "--artifacts", "table1",
+            "--suite-filter", "high_pressure", "--json-out", str(path),
+        ])
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert {c["workload"] for c in document["cells"]} == {
+            "apsi47_like",
+        }
+
+    def test_sweep_unknown_suite_filter(self):
+        with pytest.raises(SystemExit, match="unknown suite category"):
+            main([
+                "sweep", "--size", "4", "--artifacts", "table1",
+                "--suite-filter", "nope",
+            ])
+
 
 class TestCacheCommand:
     def _populate(self, cache_dir):
@@ -217,3 +265,97 @@ class TestCacheCommand:
         with pytest.raises(SystemExit, match="not an existing directory"):
             main(["cache", "clear", "--cache-dir", str(typo)])
         assert not typo.exists()
+
+    def test_prune_evicts_down_to_the_cap(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        before = sum(
+            path.stat().st_size for path in cache_dir.rglob("*.pkl")
+        )
+        assert before > 512
+        assert main([
+            "cache", "prune", "--cache-dir", str(cache_dir),
+            "--max-bytes", "512",
+        ]) == 0
+        assert "pruned" in capsys.readouterr().out
+        total = sum(
+            path.stat().st_size for path in cache_dir.rglob("*.pkl")
+        )
+        assert total <= 512
+
+    def test_prune_under_cap_removes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        entries = sorted(cache_dir.rglob("*.pkl"))
+        assert main([
+            "cache", "prune", "--cache-dir", str(cache_dir),
+        ]) == 0  # default cap is 512 MiB: nothing to do
+        assert sorted(cache_dir.rglob("*.pkl")) == entries
+
+    def test_prune_rejects_nonpositive_cap(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        with pytest.raises(SystemExit, match="positive"):
+            main([
+                "cache", "prune", "--cache-dir", str(cache_dir),
+                "--max-bytes", "0",
+            ])
+
+
+class TestServeAndConnect:
+    def test_compile_connect_unreachable_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="--connect"):
+            main([
+                "compile", "-e", FIG2,
+                "--connect", str(tmp_path / "nothing.sock"),
+            ])
+
+    def test_compile_connect_rejects_show(self, tmp_path):
+        with pytest.raises(SystemExit, match="--show"):
+            main([
+                "compile", "-e", FIG2, "--show", "all",
+                "--connect", str(tmp_path / "nothing.sock"),
+            ])
+
+    def test_compile_connect_rejects_cache_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="cache"):
+            main([
+                "compile", "-e", FIG2,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--connect", str(tmp_path / "nothing.sock"),
+            ])
+
+    def test_serve_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["serve", "--jobs", "0"])
+        with pytest.raises(SystemExit, match="--http"):
+            main(["serve", "--http", "70000"])
+
+    def test_serve_stdio_round_trip(self, monkeypatch, capsys):
+        import io
+        import json
+        import sys
+        import types
+
+        lines = (
+            json.dumps({
+                "op": "compile", "id": 1,
+                "request": {"loop": FIG2, "machine": "generic:4:2",
+                            "registers": 6, "strategy": "spill"},
+            }) + "\n" + json.dumps({"op": "shutdown", "id": 2}) + "\n"
+        ).encode()
+        out = io.BytesIO()
+        monkeypatch.setattr(
+            sys, "stdin", types.SimpleNamespace(buffer=io.BytesIO(lines))
+        )
+        monkeypatch.setattr(
+            sys, "stdout", types.SimpleNamespace(buffer=out)
+        )
+        assert main(["serve"]) == 0
+        responses = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        assert responses[0]["ok"] is True
+        assert responses[0]["result"]["schema"] == "repro.compile/1"
+        assert responses[0]["result"]["status"] == "ok"
+        assert responses[1]["shutdown"] is True

@@ -177,6 +177,79 @@ class TestSweepJson:
             run_sweep(suite=tiny_suite, artifacts=("fig3",))
 
 
+class TestMultiSchedulerSweep:
+    def test_combined_grid_keys_and_cells(self, tiny_suite):
+        report = run_sweep(
+            suite=tiny_suite, machines=[p2l4()], budgets=(32,),
+            artifacts=("table1",), scheduler=["hrms", "swing"],
+        )
+        document = report.to_json()
+        assert sorted(document["artifacts"]) == [
+            "table1@hrms", "table1@swing",
+        ]
+        assert {cell["scheduler"] for cell in document["cells"]} == {
+            "hrms", "swing",
+        }
+        assert document["suite"]["schedulers"] == ["hrms", "swing"]
+        # every cell grid is present once per scheduler
+        assert len(document["cells"]) == 2 * len(tiny_suite)
+        assert "[table1@hrms]" in report.render()
+
+    def test_jobs_deterministic(self, tiny_suite):
+        kwargs = dict(
+            suite=tiny_suite, machines=[p2l4()], budgets=(32,),
+            artifacts=("table1",), scheduler=["hrms", "swing"],
+        )
+        serial = run_sweep(jobs=1, **kwargs).to_json_text()
+        parallel = run_sweep(jobs=2, **kwargs).to_json_text()
+        assert serial == parallel
+
+    def test_single_scheduler_keeps_plain_keys(self, tiny_suite):
+        report = run_sweep(
+            suite=tiny_suite, machines=[p2l4()], artifacts=("table1",),
+            scheduler=["swing"],
+        )
+        document = report.to_json()
+        assert sorted(document["artifacts"]) == ["table1"]
+        assert document["suite"]["schedulers"] == ["swing"]
+
+    def test_duplicate_schedulers_rejected(self, tiny_suite):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(
+                suite=tiny_suite, artifacts=("table1",),
+                scheduler=["hrms", "hrms"],
+            )
+
+
+class TestSuiteFilter:
+    def test_filter_restricts_cells(self, tiny_suite):
+        report = run_sweep(
+            suite=tiny_suite, machines=[p2l4()], budgets=(32,),
+            artifacts=("table1",), suite_filter="high_pressure",
+        )
+        document = report.to_json()
+        assert {cell["workload"] for cell in document["cells"]} == {
+            "apsi47_like",
+        }
+        assert document["suite"]["suite_filter"] == "high_pressure"
+        assert document["suite"]["size"] == 1
+
+    def test_comma_separated_categories(self, tiny_suite):
+        from repro.eval.engine import filter_suite
+
+        filtered = filter_suite(tiny_suite, "high_pressure,nonconvergent")
+        assert sorted(w.name for w in filtered) == [
+            "apsi47_like", "apsi50_like",
+        ]
+
+    def test_unknown_category_rejected(self, tiny_suite):
+        with pytest.raises(ValueError, match="unknown suite category"):
+            run_sweep(
+                suite=tiny_suite, artifacts=("table1",),
+                suite_filter="bogus",
+            )
+
+
 class TestRandomGenerator:
     def test_deterministic_per_seed(self):
         a = [w.source for w in random_suite(size=8, seed=5)]

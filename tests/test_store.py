@@ -76,6 +76,49 @@ class TestStoreBasics:
         assert store.put("mii", KEY, lambda: None) is False
         assert store.get("mii", KEY) is None
 
+    def test_explicit_evict_respects_requested_cap(self, tmp_path):
+        store = ScheduleStore(tmp_path)  # default (huge) cap
+        for i in range(32):
+            store.put("mii", ("k", i), b"x" * 64)
+        before = store.total_bytes()
+        remaining = store.evict(before // 4)
+        assert remaining <= before // 4
+        assert remaining == store.total_bytes()
+        assert store.entries()  # partial eviction, not a wipe
+
+    def test_evict_under_cap_is_a_no_op(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        for i in range(8):
+            store.put("mii", ("k", i), b"x" * 64)
+        entries = sorted(store.entries())
+        assert store.evict() == store.total_bytes()
+        assert sorted(store.entries()) == entries
+
+    def test_evict_drops_oldest_first(self, tmp_path):
+        import os
+
+        store = ScheduleStore(tmp_path)
+        for i in range(4):
+            store.put("mii", ("k", i), b"x" * 64)
+            path = store.path_for("mii", ("k", i))
+            os.utime(path, (1000 + i, 1000 + i))
+        size = store.path_for("mii", ("k", 0)).stat().st_size
+        store.evict(store.total_bytes() - 1)  # must drop something
+        assert not store.path_for("mii", ("k", 0)).exists()
+        assert store.path_for("mii", ("k", 3)).exists()
+        assert size > 0
+
+    def test_stats_telemetry(self, tmp_path):
+        store = ScheduleStore(tmp_path, max_bytes=4096)
+        store.put("mii", KEY, 1)
+        store.put("schedule", KEY, b"payload")
+        telemetry = store.stats()
+        assert telemetry["root"] == str(tmp_path)
+        assert telemetry["entries"] == 2
+        assert telemetry["max_bytes"] == 4096
+        assert set(telemetry["namespaces"]) == {"mii", "schedule"}
+        assert telemetry["total_bytes"] == store.total_bytes()
+
 
 # ----------------------------------------------------------------------
 class TestCorruptionTolerance:
