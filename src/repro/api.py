@@ -92,6 +92,8 @@ class CompilationResult:
     placements: int = 0            #: slot probes (effort proxy)
     relaxations: int = 0           #: analysis relaxation edge-visits
     mrt_probes: int = 0            #: MRT unit availability tests
+    lifetime_visits: int = 0       #: lifetime consumer-edge visits
+    alloc_probes: int = 0          #: rotating-file occupancy probes
     wall_seconds: float = 0.0
     details: dict = field(default_factory=dict)
     schedule: Schedule | None = field(
@@ -149,6 +151,8 @@ class CompilationResult:
             "placements": self.placements,
             "relaxations": self.relaxations,
             "mrt_probes": self.mrt_probes,
+            "lifetime_visits": self.lifetime_visits,
+            "alloc_probes": self.alloc_probes,
             "wall_seconds": self.wall_seconds,
             "details": dict(self.details),
         }
@@ -186,6 +190,8 @@ class CompilationResult:
             placements=document["placements"],
             relaxations=document.get("relaxations", 0),
             mrt_probes=document.get("mrt_probes", 0),
+            lifetime_visits=document.get("lifetime_visits", 0),
+            alloc_probes=document.get("alloc_probes", 0),
             wall_seconds=document["wall_seconds"],
             details=dict(document["details"]),
         )
@@ -250,6 +256,8 @@ def _run(
         placements=outcome.effort.placements,
         relaxations=work.relax_visits,
         mrt_probes=work.mrt_probes,
+        lifetime_visits=work.lifetime_visits,
+        alloc_probes=work.alloc_probes,
         wall_seconds=wall,
         details=dict(outcome.details),
         schedule=schedule,
@@ -536,5 +544,6 @@ def _service_compile(request: dict) -> CompilationResult:
     # they depend on cache warmth and are zeroed for the same reason.
     return _dc_replace(
         result, wall_seconds=0.0, relaxations=0, mrt_probes=0,
+        lifetime_visits=0, alloc_probes=0,
         schedule=None, report=None, ddg=None,
     )

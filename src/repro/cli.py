@@ -32,8 +32,8 @@ Subcommands:
   tables on stdout and machine-readable JSON via ``--json-out``
   (deterministic for any ``--jobs`` value);
 * ``cache`` — operator hygiene for a shared persistent store
-  (``repro cache stats`` / ``clear`` / ``prune --max-bytes N``) without
-  writing any Python;
+  (``repro cache stats`` / ``clear`` / ``prune --max-bytes N``, with
+  ``prune --dry-run`` to preview evictions) without writing any Python;
 * ``serve`` — the long-lived compilation daemon
   (:mod:`repro.server`): one warm worker pool and one shared store
   across every client, request batching and in-flight coalescing, over
@@ -384,8 +384,18 @@ def _cmd_cache(args) -> int:
         if max_bytes is not None and max_bytes <= 0:
             raise SystemExit("repro cache: --max-bytes must be positive")
         before = store.total_bytes()
-        remaining = store.evict(max_bytes)
         cap = max_bytes if max_bytes is not None else store.max_bytes
+        if args.dry_run:
+            victims: list = []
+            remaining = store.evict(max_bytes, dry_run=True, victims=victims)
+            for path in victims:
+                print(f"would delete {path.relative_to(store.root)}")
+            print(
+                f"dry run on {store.root}: {before} -> {remaining} bytes"
+                f" (cap {cap}, {len(victims)} entries would go)"
+            )
+            return 0
+        remaining = store.evict(max_bytes)
         print(
             f"pruned {store.root}: {before} -> {remaining} bytes"
             f" (cap {cap})"
@@ -581,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--max-bytes", type=int, default=None, metavar="N",
                 help="evict down to this cap instead of the store's"
                 " default (512 MiB)",
+            )
+            action_parser.add_argument(
+                "--dry-run", action="store_true",
+                help="report what eviction would delete without"
+                " deleting anything",
             )
         action_parser.set_defaults(func=_cmd_cache)
 

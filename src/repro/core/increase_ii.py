@@ -55,13 +55,12 @@ class IncreaseIIResult:
 def distance_register_floor(ddg: DDG) -> int:
     """Registers needed at *any* II: one per invariant plus, per value, the
     dependence distance to its farthest consumer (that many instances stay
-    permanently live)."""
-    floor = len(ddg.invariants)
-    for producer in ddg.producers():
-        edges = ddg.reg_out_edges(producer.name)
-        if edges:
-            floor += max(edge.distance for edge in edges)
-    return floor
+    permanently live).  Reads the per-producer maximum off the compiled
+    :class:`~repro.lifetimes.index.LifetimeIndex` instead of re-filtering
+    edge lists."""
+    from repro.lifetimes.index import lifetime_index
+
+    return len(ddg.invariants) + sum(lifetime_index(ddg).maxdist)
 
 
 def schedule_increasing_ii(

@@ -60,36 +60,52 @@ class PreSpillResult:
 def static_lifetimes(ddg: DDG, machine: MachineConfig, ii: int) -> list[Lifetime]:
     """Schedule-free lifetime estimates: ASAP start times at *ii* plus the
     usual distance component.  This is the information a pre-scheduling
-    spiller has available."""
+    spiller has available.
+
+    Runs over the compiled consumer CSR of
+    :class:`~repro.lifetimes.index.LifetimeIndex` (same first-max
+    last-consumer tie-break as the scheduled path)."""
+    from repro.graph.index import WORK
+    from repro.lifetimes.index import lifetime_index
+
     latencies = machine.latencies_for(ddg)
     try:
         asap = longest_path_lengths(ddg, latencies, ii)
     except ValueError:
         return []
+    li = lifetime_index(ddg)
+    names = li.index.names
+    start_of = [asap[name] for name in names]
+    coff, cdst, cdist = li.coff, li.cdst, li.cdist
     estimates = []
-    for producer in ddg.producers():
-        edges = ddg.reg_out_edges(producer.name)
-        if not edges:
+    for j, node_id in enumerate(li.prod):
+        lo = coff[j]
+        hi = coff[j + 1]
+        if lo == hi:
             continue
-        last = max(edges, key=lambda e: asap[e.dst] + ii * e.distance)
+        best_end = start_of[cdst[lo]] + ii * cdist[lo]
+        best_d = cdist[lo]
+        for k in range(lo + 1, hi):
+            end = start_of[cdst[k]] + ii * cdist[k]
+            if end > best_end:
+                best_end = end
+                best_d = cdist[k]
+        name = names[node_id]
         sched = max(
-            asap[last.dst] - asap[producer.name],
-            latencies[producer.name],
-        )
-        spillable = (
-            not producer.is_spill
-            and all(edge.spillable for edge in edges)
+            best_end - ii * best_d - start_of[node_id],
+            latencies[name],
         )
         estimates.append(
             Lifetime(
-                value=producer.name,
-                start=asap[producer.name],
+                value=name,
+                start=start_of[node_id],
                 sched_component=sched,
-                dist_component=ii * last.distance,
-                consumers=tuple(sorted(e.dst for e in edges)),
-                spillable=spillable,
+                dist_component=ii * best_d,
+                consumers=li.consumers[j],
+                spillable=li.spillable[j],
             )
         )
+    WORK.lifetime_visits += len(cdst)
     for invariant in ddg.invariants.values():
         estimates.append(
             Lifetime(

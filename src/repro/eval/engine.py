@@ -536,7 +536,8 @@ class SweepReport:
             f" cache hits/misses: schedule {cache.schedule_hits}"
             f"/{cache.schedule_misses}, MII {cache.mii_hits}"
             f"/{cache.mii_misses}, spill runs {cache.spill_hits}"
-            f"/{cache.spill_misses}"
+            f"/{cache.spill_misses}, alloc {cache.alloc_hits}"
+            f"/{cache.alloc_misses}"
         )
         lookups = cache.store_hits + cache.store_misses
         if lookups:

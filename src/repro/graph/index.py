@@ -47,16 +47,23 @@ class WorkCounters:
     ``relax_visits`` counts longest-path / positive-cycle edge
     relaxations (the Bellman-Ford inner loop); ``mrt_probes`` counts
     modulo-reservation-table unit availability tests; ``index_builds``
-    counts full :class:`DDGIndex` constructions.
+    counts full :class:`DDGIndex` constructions; ``lifetime_visits``
+    counts reg-flow consumer-edge visits during lifetime computation;
+    ``alloc_probes`` counts rotating-file occupancy probes (per-cell
+    touches in the reference allocator, per-arc bitmask tests in the
+    compiled one — the allocation CI gate compares the two).
     """
 
     relax_visits: int = 0
     mrt_probes: int = 0
     index_builds: int = 0
+    lifetime_visits: int = 0
+    alloc_probes: int = 0
 
     def snapshot(self) -> "WorkCounters":
         return WorkCounters(
-            self.relax_visits, self.mrt_probes, self.index_builds
+            self.relax_visits, self.mrt_probes, self.index_builds,
+            self.lifetime_visits, self.alloc_probes,
         )
 
     def delta(self, before: "WorkCounters") -> "WorkCounters":
@@ -64,6 +71,8 @@ class WorkCounters:
             self.relax_visits - before.relax_visits,
             self.mrt_probes - before.mrt_probes,
             self.index_builds - before.index_builds,
+            self.lifetime_visits - before.lifetime_visits,
+            self.alloc_probes - before.alloc_probes,
         )
 
     def as_dict(self) -> dict:
@@ -71,6 +80,8 @@ class WorkCounters:
             "relax_visits": self.relax_visits,
             "mrt_probes": self.mrt_probes,
             "index_builds": self.index_builds,
+            "lifetime_visits": self.lifetime_visits,
+            "alloc_probes": self.alloc_probes,
         }
 
 
@@ -81,6 +92,7 @@ WORK = WorkCounters()
 def reset_work() -> None:
     """Zero the process-wide work counters (test/benchmark hygiene)."""
     WORK.relax_visits = WORK.mrt_probes = WORK.index_builds = 0
+    WORK.lifetime_visits = WORK.alloc_probes = 0
 
 
 # ----------------------------------------------------------------------
@@ -98,11 +110,15 @@ class DDGIndex:
         "out_off", "in_off", "in_eid",
         "scc_id", "sccs", "scc_cyclic", "cyclic_sccs", "self_loop",
         "scc_edges", "cross_out", "cross_in", "topo_order",
-        "_views",
+        "_views", "_lifetimes",
     )
 
     def __init__(self) -> None:
         self._views: dict[tuple, LatencyView] = {}
+        #: Slot for the :class:`repro.lifetimes.index.LifetimeIndex`
+        #: derived from this topology (filled lazily by that module, so
+        #: content-identical DDG instances share it like the index).
+        self._lifetimes = None
 
     # ------------------------------------------------------------------
     @classmethod

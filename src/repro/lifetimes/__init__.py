@@ -10,21 +10,43 @@ MaxLive); and modulo variable expansion for machines without rotating
 files.
 """
 
-from repro.lifetimes.lifetime import Lifetime, invariant_lifetimes, variant_lifetimes
-from repro.lifetimes.maxlive import max_live, pressure_pattern
-from repro.lifetimes.allocator import AllocationResult, allocate_registers
+from repro.lifetimes.lifetime import (
+    Lifetime,
+    invariant_lifetimes,
+    variant_lifetimes,
+    variant_lifetimes_reference,
+)
+from repro.lifetimes.maxlive import (
+    max_live,
+    max_live_reference,
+    pressure_pattern,
+    pressure_pattern_reference,
+)
+from repro.lifetimes.allocator import (
+    AllocationResult,
+    allocate_registers,
+    allocate_registers_reference,
+)
+from repro.lifetimes.index import LifetimeIndex, lifetime_index, variant_arrays
 from repro.lifetimes.mve import mve_expansion
 from repro.lifetimes.requirements import RegisterReport, register_requirements
 
 __all__ = [
     "AllocationResult",
     "Lifetime",
+    "LifetimeIndex",
     "RegisterReport",
     "allocate_registers",
+    "allocate_registers_reference",
     "invariant_lifetimes",
+    "lifetime_index",
     "max_live",
+    "max_live_reference",
     "mve_expansion",
     "pressure_pattern",
+    "pressure_pattern_reference",
     "register_requirements",
+    "variant_arrays",
     "variant_lifetimes",
+    "variant_lifetimes_reference",
 ]

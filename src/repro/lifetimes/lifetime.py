@@ -56,7 +56,36 @@ class Lifetime:
 
 
 def variant_lifetimes(schedule: Schedule) -> list[Lifetime]:
-    """Lifetimes of all loop-variant values, in producer order."""
+    """Lifetimes of all loop-variant values, in producer order.
+
+    Runs on the compiled :mod:`repro.lifetimes.index` arrays — one CSR
+    pass instead of per-producer edge-list rebuilds.  The pure-python
+    path survives as :func:`variant_lifetimes_reference` (the
+    property-test oracle).
+    """
+    from repro.lifetimes.index import variant_arrays
+
+    varr = variant_arrays(schedule)
+    li = varr.li
+    names = li.index.names
+    starts, sched, dist = varr.starts, varr.sched, varr.dist
+    consumers, spillable = li.consumers, li.spillable
+    return [
+        Lifetime(
+            value=names[node_id],
+            start=starts[j],
+            sched_component=sched[j],
+            dist_component=dist[j],
+            consumers=consumers[j],
+            spillable=spillable[j],
+        )
+        for j, node_id in enumerate(li.prod)
+    ]
+
+
+def variant_lifetimes_reference(schedule: Schedule) -> list[Lifetime]:
+    """Pure-python oracle for :func:`variant_lifetimes`: the original
+    per-name edge-list traversal, kept for property tests."""
     ddg = schedule.ddg
     result: list[Lifetime] = []
     for producer in ddg.producers():
@@ -65,8 +94,11 @@ def variant_lifetimes(schedule: Schedule) -> list[Lifetime]:
 
 
 def _lifetime_of(schedule: Schedule, ddg: DDG, name: str) -> Lifetime:
+    from repro.graph.index import WORK
+
     t_producer = schedule.time(name)
     edges = ddg.reg_out_edges(name)
+    WORK.lifetime_visits += len(edges)
     if not edges:
         # Live-out value with no in-loop consumer: the value merely has to
         # be produced; only the final iteration's instance is used after

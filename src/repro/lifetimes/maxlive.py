@@ -9,11 +9,15 @@ more than ``MaxLive + 1`` registers.
 A lifetime of length ``L`` starting at cycle ``s`` has, at kernel cycle
 ``t``, exactly ``floor((L - o - 1) / II) + 1`` simultaneously live
 instances where ``o = (t - s) mod II`` — one per overlapping iteration.
+Writing ``L = q*II + r`` that count is ``q`` everywhere plus 1 on the
+cyclic window ``[s mod II, s mod II + r)``, so the whole pattern is a
+base sum plus a difference array — O(V + II) instead of the reference's
+O(V * II) per-cycle loop (kept as :func:`pressure_pattern_reference`).
 """
 
 from __future__ import annotations
 
-from repro.lifetimes.lifetime import Lifetime, invariant_lifetimes, variant_lifetimes
+from repro.lifetimes.lifetime import Lifetime, variant_lifetimes
 from repro.sched.schedule import Schedule
 
 
@@ -26,12 +30,67 @@ def live_instances(lifetime: Lifetime, cycle: int, ii: int) -> int:
     return (length - offset - 1) // ii + 1
 
 
+def _pattern_from(starts, lengths, ii: int) -> list[int]:
+    """The II-cycle live-count pattern of parallel start/length arrays,
+    via the base + cyclic-window difference-array identity."""
+    base = 0
+    diff = [0] * (ii + 1)
+    for j in range(len(starts)):
+        length = lengths[j]
+        if length <= 0:
+            continue
+        q, r = divmod(length, ii)
+        base += q
+        if r:
+            s = starts[j] % ii
+            if s + r <= ii:
+                diff[s] += 1
+                diff[s + r] -= 1
+            else:
+                diff[s] += 1
+                diff[0] += 1
+                diff[s + r - ii] -= 1
+    pattern = []
+    running = base
+    for cycle in range(ii):
+        running += diff[cycle]
+        pattern.append(running)
+    return pattern
+
+
 def pressure_pattern(
     schedule: Schedule,
     include_invariants: bool = True,
     lifetimes: list[Lifetime] | None = None,
 ) -> list[int]:
     """Live-value count per kernel cycle (the paper's Figure 2f)."""
+    ii = schedule.ii
+    if lifetimes is None:
+        from repro.lifetimes.index import variant_arrays
+
+        varr = variant_arrays(schedule)
+        pattern = _pattern_from(varr.starts, varr.lengths, ii)
+    else:
+        variants = [lt for lt in lifetimes if not lt.is_invariant]
+        pattern = _pattern_from(
+            [lt.start for lt in variants],
+            [lt.length for lt in variants],
+            ii,
+        )
+    if include_invariants:
+        invariants = len(schedule.ddg.invariants)
+        if invariants:
+            pattern = [count + invariants for count in pattern]
+    return pattern
+
+
+def pressure_pattern_reference(
+    schedule: Schedule,
+    include_invariants: bool = True,
+    lifetimes: list[Lifetime] | None = None,
+) -> list[int]:
+    """Pure-python oracle for :func:`pressure_pattern`: the original
+    per-cycle :func:`live_instances` accumulation."""
     if lifetimes is None:
         lifetimes = variant_lifetimes(schedule)
     ii = schedule.ii
@@ -53,11 +112,23 @@ def max_live(schedule: Schedule, include_invariants: bool = True) -> int:
     return max(pattern) if pattern else 0
 
 
+def max_live_reference(
+    schedule: Schedule, include_invariants: bool = True
+) -> int:
+    """Pure-python oracle for :func:`max_live`."""
+    pattern = pressure_pattern_reference(schedule, include_invariants)
+    return max(pattern) if pattern else 0
+
+
 def distance_component_floor(schedule: Schedule) -> int:
     """Registers the schedule can never go below however much the II grows:
     each loop-carried lifetime keeps ``delta`` instances permanently live,
     and each invariant keeps one (Section 3.1's non-convergence causes)."""
+    from repro.lifetimes.index import variant_arrays
+
+    varr = variant_arrays(schedule)
+    ii = schedule.ii
     floor = len(schedule.ddg.invariants)
-    for lifetime in variant_lifetimes(schedule):
-        floor += lifetime.dist_component // schedule.ii
+    for d in varr.dist:
+        floor += d // ii
     return floor

@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.lifetimes.allocator import allocate_registers
-from repro.lifetimes.lifetime import variant_lifetimes
-from repro.lifetimes.maxlive import max_live
+from repro.lifetimes.allocator import allocate_arrays
+from repro.lifetimes.maxlive import _pattern_from
 from repro.sched.schedule import Schedule
 
 
@@ -50,31 +49,49 @@ def register_requirements(schedule: Schedule, exact: bool = True) -> RegisterRep
     methodology); ``exact=False`` returns the MaxLive approximation in both
     fields (the paper's examples, and much faster).
 
-    The report is memoized on the schedule instance (guarded by the
-    graph's revision counter): the experiment engine hands the same
-    memoized schedules to several budgets/artifacts, and the allocation
-    pass dominates their cost.
+    Three memo levels, all guarded by :func:`~repro.sched.cache.
+    caching_enabled` and counted as ``alloc_hits``/``alloc_misses``:
+    the schedule instance (revision-guarded — the experiment engine
+    hands the same memoized schedules to several budgets/artifacts),
+    the process-wide :class:`~repro.sched.cache.AllocMemo` keyed by
+    schedule content, and the persistent store's ``"alloc"`` namespace
+    (shared across engine workers and warm re-runs).
     """
-    from repro.sched.cache import caching_enabled
+    from repro.sched import cache as sched_cache
+
+    if not sched_cache.caching_enabled():
+        return _measure(schedule, exact)
 
     revision = schedule.ddg.revision
     memo = getattr(schedule, "_requirements_memo", None)
-    if caching_enabled() and memo is not None:
+    if memo is not None:
         entry = memo.get(exact)
         if entry is not None and entry[0] == revision:
+            sched_cache.STATS.alloc_hits += 1
             return entry[1]
-    report = _measure(schedule, exact)
-    if caching_enabled():
-        if memo is None:
-            memo = {}
-            schedule._requirements_memo = memo
-        memo[exact] = (revision, report)
+    key = (
+        sched_cache.schedule_fingerprint(schedule),
+        sched_cache.machine_key(schedule.machine),
+        exact,
+    )
+    report = sched_cache.alloc_memo().get(key)
+    if report is None:
+        report = _measure(schedule, exact)
+        sched_cache.alloc_memo().put(key, report)
+    if memo is None:
+        memo = {}
+        schedule._requirements_memo = memo
+    memo[exact] = (revision, report)
     return report
 
 
 def _measure(schedule: Schedule, exact: bool) -> RegisterReport:
-    lifetimes = [lt for lt in variant_lifetimes(schedule) if lt.length > 0]
-    live_bound = max_live(schedule, include_invariants=False)
+    from repro.lifetimes.index import variant_arrays
+
+    varr = variant_arrays(schedule)
+    ii = schedule.ii
+    pattern = _pattern_from(varr.starts, varr.lengths, ii)
+    live_bound = max(pattern) if pattern else 0
     invariants = len(schedule.ddg.invariants)
     if not exact:
         return RegisterReport(
@@ -83,7 +100,17 @@ def _measure(schedule: Schedule, exact: bool) -> RegisterReport:
             invariants=invariants,
             exact=False,
         )
-    allocation = allocate_registers(schedule, lifetimes)
+    names = varr.li.index.names
+    prod = varr.li.prod
+    live = [j for j in range(len(prod)) if varr.lengths[j] > 0]
+    allocation = allocate_arrays(
+        schedule.ddg.name,
+        ii,
+        [names[prod[j]] for j in live],
+        [varr.starts[j] for j in live],
+        [varr.lengths[j] for j in live],
+        live_bound,
+    )
     return RegisterReport(
         max_live=live_bound,
         allocated=allocation.registers,

@@ -23,6 +23,12 @@ functions of graph content, so this module caches them:
   options)`` → a whole spilling-driver run.  ``fig9`` and the combined
   method run the identical spilling driver back to back; the second run
   is a copy-out instead of a recomputation.
+* **allocation memo** — ``(schedule fingerprint, machine, exact)`` →
+  the lifetime/MaxLive/allocation measurement
+  (:class:`~repro.lifetimes.requirements.RegisterReport`).  The spill
+  and II-increase drivers re-measure the same schedule content across
+  II restarts and register budgets; a report is a pure function of
+  (schedule, machine), so restarts stop recomputing unchanged analyses.
 
 The in-process memos are per-process, but every memo miss reads through
 (and every computation writes through) the optional **persistent
@@ -56,6 +62,12 @@ class CacheStats:
     persistent :mod:`repro.sched.store` layer; they only move when a
     store is active, and only on in-memory memo misses (an in-memory hit
     never consults the disk).
+
+    ``alloc_hits``/``alloc_misses`` count the lifetime/allocation memo
+    of :func:`repro.lifetimes.requirements.register_requirements`: a hit
+    is served from the schedule-instance memo, the process-wide
+    :class:`AllocMemo` or the persistent store; a miss runs the full
+    lifetime analysis + rotating-file allocation.
     """
 
     mii_hits: int = 0
@@ -64,6 +76,8 @@ class CacheStats:
     schedule_misses: int = 0
     spill_hits: int = 0
     spill_misses: int = 0
+    alloc_hits: int = 0
+    alloc_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0
 
@@ -73,6 +87,7 @@ class CacheStats:
             self.mii_hits, self.mii_misses,
             self.schedule_hits, self.schedule_misses,
             self.spill_hits, self.spill_misses,
+            self.alloc_hits, self.alloc_misses,
             self.store_hits, self.store_misses,
         )
 
@@ -85,6 +100,8 @@ class CacheStats:
             self.schedule_misses - before.schedule_misses,
             self.spill_hits - before.spill_hits,
             self.spill_misses - before.spill_misses,
+            self.alloc_hits - before.alloc_hits,
+            self.alloc_misses - before.alloc_misses,
             self.store_hits - before.store_hits,
             self.store_misses - before.store_misses,
         )
@@ -97,6 +114,8 @@ class CacheStats:
         self.schedule_misses += other.schedule_misses
         self.spill_hits += other.spill_hits
         self.spill_misses += other.spill_misses
+        self.alloc_hits += other.alloc_hits
+        self.alloc_misses += other.alloc_misses
         self.store_hits += other.store_hits
         self.store_misses += other.store_misses
 
@@ -109,6 +128,8 @@ class CacheStats:
             "schedule_misses": self.schedule_misses,
             "spill_hits": self.spill_hits,
             "spill_misses": self.spill_misses,
+            "alloc_hits": self.alloc_hits,
+            "alloc_misses": self.alloc_misses,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
         }
@@ -180,10 +201,12 @@ def clear() -> None:
     _mii_cache.clear()
     _SCHEDULE_MEMO.clear()
     _SPILL_MEMO.clear()
+    _ALLOC_MEMO.clear()
     _graph_index.clear_cache()
     STATS.mii_hits = STATS.mii_misses = 0
     STATS.schedule_hits = STATS.schedule_misses = 0
     STATS.spill_hits = STATS.spill_misses = 0
+    STATS.alloc_hits = STATS.alloc_misses = 0
     STATS.store_hits = STATS.store_misses = 0
 
 
@@ -221,6 +244,28 @@ def ddg_fingerprint(ddg: DDG) -> str:
     return fingerprint
 
 
+def schedule_fingerprint(schedule) -> str:
+    """Stable content hash of a *schedule* — its graph's fingerprint
+    plus the II and the (name-sorted) start times — cached on the
+    schedule instance and recomputed when the graph's revision moves.
+    Two content-identical schedules of content-identical graphs share
+    lifetime/MaxLive/allocation results, which is what the
+    :class:`AllocMemo` keys on."""
+    cached = getattr(schedule, "_fingerprint", None)
+    revision = schedule.ddg.revision
+    if cached is not None and cached[0] == revision:
+        return cached[1]
+    digest = hashlib.sha1()
+    digest.update(ddg_fingerprint(schedule.ddg).encode())
+    digest.update(f"|ii={schedule.ii}".encode())
+    times = schedule.times
+    for name in sorted(times):
+        digest.update(f"|{name}={times[name]}".encode())
+    fingerprint = digest.hexdigest()
+    schedule._fingerprint = (revision, fingerprint)
+    return fingerprint
+
+
 def scheduler_config(scheduler) -> dict:
     """A scheduler's configuration: public instance attributes only.
     Underscore attributes are per-run scratch (e.g. Swing's ``_times``)
@@ -245,7 +290,11 @@ def scheduler_key(scheduler) -> str:
 
 def machine_key(machine: MachineConfig) -> str:
     """Cache key of a machine configuration (content, not just the name,
-    so two different ``generic:U:L`` instances never collide)."""
+    so two different ``generic:U:L`` instances never collide).  Machines
+    are frozen, so the key is computed once per instance."""
+    cached = getattr(machine, "_cache_key", None)
+    if cached is not None:
+        return cached
     counts = ",".join(
         f"{fu.value}={machine.fu_counts[fu]}"
         for fu in sorted(machine.fu_counts, key=lambda f: f.value)
@@ -257,10 +306,12 @@ def machine_key(machine: MachineConfig) -> str:
     non_pipelined = ",".join(
         sorted(fu.value for fu in machine.non_pipelined)
     )
-    return (
+    key = (
         f"{machine.name}|{counts}|{latencies}|{non_pipelined}"
         f"|{machine.generic:d}"
     )
+    object.__setattr__(machine, "_cache_key", key)
+    return key
 
 
 def compile_request_key(
@@ -517,3 +568,56 @@ _SPILL_MEMO = DriverMemo()
 def spill_memo() -> DriverMemo:
     """The process-wide spilling-driver memo (one per engine worker)."""
     return _SPILL_MEMO
+
+
+# ----------------------------------------------------------------------
+# register-requirement measurements (lifetimes + MaxLive + allocation)
+class AllocMemo:
+    """Memo for :class:`~repro.lifetimes.requirements.RegisterReport`
+    measurements, keyed by ``(schedule fingerprint, machine, exact)``.
+
+    The spilling and II-increase drivers re-measure the same schedules
+    across II restarts, register budgets and back-to-back strategies
+    (``combined`` after ``fig9``); a report is a pure function of
+    schedule content, so the measurement is shared process-wide and —
+    through the ``"alloc"`` store namespace — across processes.  Reports
+    are frozen dataclasses: hits hand out the entry itself, no copy."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, object] = {}
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (persistent-store files stay)."""
+        self._entries.clear()
+
+    def get(self, key: tuple):
+        """The memoized report for *key*, or None (counted as a miss).
+        In-memory misses read through the persistent store."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _store_get("alloc", key)
+            if entry is None:
+                STATS.alloc_misses += 1
+                return None
+            self._install(key, entry)
+        STATS.alloc_hits += 1
+        return entry
+
+    def put(self, key: tuple, report) -> None:
+        """Record a freshly measured report in memory and in the
+        persistent store."""
+        self._install(key, report)
+        _store_put("alloc", key, report)
+
+    def _install(self, key: tuple, value) -> None:
+        if len(self._entries) >= _MAX_ENTRIES:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+
+_ALLOC_MEMO = AllocMemo()
+
+
+def alloc_memo() -> AllocMemo:
+    """The process-wide register-requirement memo (one per worker)."""
+    return _ALLOC_MEMO

@@ -165,7 +165,12 @@ class ScheduleStore:
             with contextlib.suppress(OSError):
                 path.unlink()
 
-    def evict(self, max_bytes: int | None = None) -> int:
+    def evict(
+        self,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+        victims: list | None = None,
+    ) -> int:
         """Run one eviction pass: drop oldest entries (by mtime) until
         the store fits *max_bytes* (default: :attr:`max_bytes`), and reap
         temp files orphaned by writers killed mid-``put`` (they match no
@@ -173,17 +178,22 @@ class ScheduleStore:
 
         When over the cap, eviction aims 20% below it so the next few
         writes do not immediately re-trigger a scan.  Returns the bytes
-        remaining on disk.  This is also the ``repro cache prune``
-        entry point.
+        remaining on disk (for *dry_run*: the bytes that would remain).
+        This is also the ``repro cache prune`` entry point.
+
+        With ``dry_run=True`` nothing is deleted — not even orphaned
+        temp files — and *victims* (if given) collects the entry paths
+        the pass would remove, oldest first.
         """
         import time
 
         cap = self.max_bytes if max_bytes is None else max_bytes
         stale = time.time() - 3600
-        for temp in self.root.rglob("*.tmp"):
-            with contextlib.suppress(OSError):
-                if temp.stat().st_mtime < stale:
-                    temp.unlink()
+        if not dry_run:
+            for temp in self.root.rglob("*.tmp"):
+                with contextlib.suppress(OSError):
+                    if temp.stat().st_mtime < stale:
+                        temp.unlink()
         stamped = []
         total = 0
         for path in self.entries():
@@ -200,9 +210,14 @@ class ScheduleStore:
         for _, size, path in sorted(stamped):
             if total <= target:
                 break
-            with contextlib.suppress(OSError):
-                path.unlink()
-                total -= size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            total -= size
+            if victims is not None:
+                victims.append(path)
         return total
 
     def stats(self) -> dict:

@@ -282,7 +282,10 @@ class TestPipeline:
         first_doc, second_doc = first.to_json(), second.to_json()
         # wall clock and the performed-work counters are telemetry: a
         # memo-served compile does less analysis work than a cold one.
-        for telemetry in ("wall_seconds", "relaxations", "mrt_probes"):
+        for telemetry in (
+            "wall_seconds", "relaxations", "mrt_probes",
+            "lifetime_visits", "alloc_probes",
+        ):
             first_doc.pop(telemetry)
             second_doc.pop(telemetry)
         assert first_doc == second_doc

@@ -283,6 +283,20 @@ class TestCacheCommand:
         )
         assert total <= 512
 
+    def test_prune_dry_run_deletes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        entries = sorted(cache_dir.rglob("*.pkl"))
+        assert sum(path.stat().st_size for path in entries) > 512
+        assert main([
+            "cache", "prune", "--cache-dir", str(cache_dir),
+            "--max-bytes", "512", "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "would delete" in out
+        assert sorted(cache_dir.rglob("*.pkl")) == entries
+
     def test_prune_under_cap_removes_nothing(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
         self._populate(cache_dir)

@@ -96,6 +96,8 @@ class TestCompileService:
         assert result.wall_seconds == 0.0
         assert result.relaxations == 0
         assert result.mrt_probes == 0
+        assert result.lifetime_visits == 0
+        assert result.alloc_probes == 0
         assert result.schedule is None and result.ddg is None
 
     def test_malformed_requests_rejected_at_submit(self, service):

@@ -2,8 +2,9 @@
 
 Compiles a pinned suite with every cache bypassed and compares the
 deterministic work counters (`attempts`, `placements`, `relaxations`,
-`mrt_probes` — plus `mii`/`ii` as sanity anchors) against the
-checked-in expectations in ``benchmarks/expected_effort.json``.
+`mrt_probes`, `lifetime_visits`, `alloc_probes` — plus `mii`/`ii` as
+sanity anchors) against the checked-in expectations in
+``benchmarks/expected_effort.json``.
 
 The counters are pure counts of algorithmic work — no wall clock — so
 any drift is a real behaviour or performance change: an intended one is
@@ -67,6 +68,8 @@ def measured() -> dict:
                 "placements": result.placements,
                 "relaxations": result.relaxations,
                 "mrt_probes": result.mrt_probes,
+                "lifetime_visits": result.lifetime_visits,
+                "alloc_probes": result.alloc_probes,
             }
     return {
         "suite": {"kind": "random", "size": SUITE_SIZE, "seed": SUITE_SEED},
