@@ -37,9 +37,17 @@ Subcommands:
 * ``serve`` — the long-lived compilation daemon
   (:mod:`repro.server`): one warm worker pool and one shared store
   across every client, request batching and in-flight coalescing, over
-  stdio (default), ``--socket PATH`` or ``--http PORT``;
+  stdio (default), ``--socket PATH``, ``--tcp [HOST:]PORT`` or
+  ``--http PORT``, with ``--token`` shared-token authentication and a
+  persistent :mod:`repro.metrics` database (``--metrics PATH``;
+  defaults to ``metrics.sqlite`` inside ``--cache-dir``);
 * ``compile --connect ADDR`` — hand the request to a running daemon
-  (via :mod:`repro.client`) instead of compiling in-process.
+  (via :mod:`repro.client`) instead of compiling in-process;
+* ``sweep --connect ADDR[,ADDR...]`` — route the whole experiment grid
+  through a sharded daemon cluster (:mod:`repro.cluster`), one shard
+  per consistent-hash key range, byte-identical JSON either way;
+* ``cluster stats|top`` — per-shard + aggregated telemetry of a
+  running cluster, and the persisted metrics time series.
 
 ``compile``, ``sweep`` and ``serve`` take ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``): a persistent :mod:`repro.sched.store` directory
@@ -308,6 +316,21 @@ def _cmd_sweep(args) -> int:
             "load_mix": args.load_mix,
             "store_mix": args.store_mix,
         }
+    cluster = None
+    if args.connect:
+        if args.cache_dir is not None or args.max_bytes is not None:
+            raise SystemExit(
+                "repro sweep: --cache-dir/--max-bytes configure the"
+                " in-process store; with --connect each shard daemon"
+                " owns its own cache (start them with"
+                " 'repro serve --cache-dir ...')"
+            )
+        from repro.cluster import ClusterClient
+
+        try:
+            cluster = ClusterClient(args.connect, token=args.token)
+        except ValueError as error:
+            raise SystemExit(f"repro sweep: --connect: {error}")
     try:
         report = run_sweep(
             suite=suite,
@@ -317,11 +340,23 @@ def _cmd_sweep(args) -> int:
             jobs=args.jobs,
             scheduler=scheduler,
             suite_info=suite_info,
-            cache_dir=_cache_from(args),
+            cache_dir=None if cluster is not None else _cache_from(args),
             suite_filter=args.suite_filter,
+            cluster=cluster,
         )
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}")
+    except Exception as error:
+        from repro.client import ClientError
+
+        if cluster is not None and isinstance(error, (OSError, ClientError)):
+            raise SystemExit(
+                f"repro sweep: --connect {args.connect}: {error}"
+            )
+        raise
+    finally:
+        if cluster is not None:
+            cluster.close()
     print(report.render())
     if args.json_out:
         with open(args.json_out, "w") as handle:
@@ -405,18 +440,135 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
+
     from repro.server import CompileService, serve
 
     if args.jobs < 1:
         raise SystemExit("repro serve: --jobs must be >= 1")
     if args.http is not None and not (0 <= args.http <= 65535):
         raise SystemExit("repro serve: --http PORT must be 0..65535")
-    service = CompileService(cache=_cache_from(args), jobs=args.jobs)
+    if args.tcp is not None:
+        from repro.server.daemon import parse_tcp_address
+
+        try:
+            parse_tcp_address(args.tcp)
+        except ValueError:
+            raise SystemExit(
+                f"repro serve: bad --tcp address {args.tcp!r}"
+                " (expected [HOST:]PORT)"
+            )
+    token = args.token or os.environ.get("REPRO_TOKEN") or None
+    store = _cache_from(args)
+    metrics = args.metrics
+    if metrics is None and store is not None:
+        # persistence rides along with the cache dir by default: one
+        # operator-owned directory per shard holds both
+        from repro.metrics import metrics_path
+
+        metrics = str(metrics_path(store.root))
+    service = CompileService(
+        cache=store, jobs=args.jobs, metrics=metrics
+    )
     return serve(
         service,
         http_port=args.http,
         socket_path=args.socket,
         stdio=args.stdio,
+        tcp=args.tcp,
+        token=token,
+    )
+
+
+def _cluster_client_from(args):
+    from repro.cluster import ClusterClient
+
+    if not args.connect:
+        raise SystemExit(
+            "repro cluster: --connect ADDR[,ADDR...] is required"
+        )
+    try:
+        return ClusterClient(args.connect, token=args.token)
+    except ValueError as error:
+        raise SystemExit(f"repro cluster: {error}")
+
+
+def _cmd_cluster(args) -> int:
+    import json as json_mod
+
+    if args.cluster_command == "stats":
+        client = _cluster_client_from(args)
+        try:
+            document = client.stats()
+        finally:
+            client.close()
+        if args.json:
+            print(json_mod.dumps(document, indent=2, sort_keys=True))
+            return 0
+        for address in document["nodes"]:
+            shard = document["shards"][address]
+            if "error" in shard:
+                print(f"{address}: unreachable ({shard['error']})")
+                continue
+            service = shard.get("service") or {}
+            print(
+                f"{address}: requests={service.get('requests', 0)}"
+                f" batches={service.get('batches', 0)}"
+                f" coalesced={service.get('coalesced', 0)}"
+                f" cells={service.get('cells', 0)}"
+                f" errors={service.get('errors', 0)}"
+            )
+            latency = (shard.get("metrics") or {}).get("latency") or {}
+            for op in sorted(latency):
+                digest = latency[op]
+                print(
+                    f"  {op}: n={digest['count']}"
+                    f" p50={digest['p50_ms']}ms p90={digest['p90_ms']}ms"
+                    f" p99={digest['p99_ms']}ms max={digest['max_ms']}ms"
+                )
+        totals = document["cluster"]["service"]
+        print(
+            "cluster: "
+            + " ".join(f"{name}={totals[name]}" for name in sorted(totals))
+        )
+        return 0
+    if args.cluster_command == "top":
+        import pathlib
+
+        from repro.metrics import MetricsDB, metrics_path, percentile
+
+        path = args.metrics
+        if path is None and args.cache_dir is not None:
+            path = str(metrics_path(args.cache_dir))
+        if path is None:
+            raise SystemExit(
+                "repro cluster top: pass --metrics PATH or --cache-dir DIR"
+            )
+        if not pathlib.Path(path).is_file():
+            raise SystemExit(
+                f"repro cluster top: no metrics database at {path!r}"
+            )
+        with MetricsDB(path) as db:
+            totals = db.counter_totals()
+            print(f"metrics: {path}")
+            if totals:
+                width = max(len(name) for name in totals)
+                for name in sorted(totals):
+                    print(f"  {name:<{width}}  {totals[name]}")
+            else:
+                print("  (no counters recorded)")
+            for op in db.latency_ops():
+                histogram = db.histogram(op)
+                count = sum(histogram.values())
+                print(
+                    f"  latency[{op}]: n={count}"
+                    f" p50={percentile(histogram, 50):.3g}ms"
+                    f" p90={percentile(histogram, 90):.3g}ms"
+                    f" p99={percentile(histogram, 99):.3g}ms"
+                )
+        return 0
+    raise SystemExit(
+        f"repro cluster: unknown action {args.cluster_command!r}"
     )
 
 
@@ -567,6 +719,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-mix", type=float, default=0.3,
         help="random suite: probability a statement stores to memory",
     )
+    sweep_parser.add_argument(
+        "--connect", metavar="ADDR[,ADDR...]", default=None,
+        help="route every cell through running 'repro serve' daemons"
+        " (tcp://host:port, host:port, http://..., or socket paths;"
+        " several addresses shard by consistent hashing) instead of"
+        " evaluating in-process",
+    )
+    sweep_parser.add_argument(
+        "--token", default=None,
+        help="shared authentication token for --connect daemons"
+        " (default: $REPRO_TOKEN)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     cache_parser = sub.add_parser(
@@ -620,9 +784,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the line-delimited JSON protocol on a unix socket",
     )
     serve_parser.add_argument(
+        "--tcp", metavar="[HOST:]PORT", default=None,
+        help="serve the line protocol on a TCP socket (the cluster"
+        " transport; 0 picks a free port; combine with --token)",
+    )
+    serve_parser.add_argument(
         "--stdio", action="store_true",
         help="serve the line protocol on stdin/stdout (the default when"
-        " neither --http nor --socket is given)",
+        " no other transport is given)",
+    )
+    serve_parser.add_argument(
+        "--token", default=None,
+        help="shared authentication token: socket/TCP/HTTP requests"
+        " without it are rejected (default: $REPRO_TOKEN; stdio and"
+        " GET /healthz stay open)",
     )
     serve_parser.add_argument(
         "--cache-dir", metavar="DIR", default=None,
@@ -633,7 +808,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, metavar="N",
         help="size cap for --cache-dir eviction (default 512 MiB)",
     )
+    serve_parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="SQLite metrics database (latency histograms + counter"
+        " time series; default: metrics.sqlite inside --cache-dir,"
+        " in-memory only without one)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="inspect a sharded daemon cluster (per-shard + aggregated"
+        " stats, persisted metrics)",
+    )
+    cluster_sub = cluster_parser.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    stats_parser = cluster_sub.add_parser(
+        "stats", help="per-shard /stats plus a cluster-wide aggregate"
+    )
+    stats_parser.add_argument(
+        "--connect", metavar="ADDR[,ADDR...]", default=None,
+        help="shard daemon addresses (consistent-hash ring order"
+        " does not matter)",
+    )
+    stats_parser.add_argument(
+        "--token", default=None,
+        help="shared authentication token (default: $REPRO_TOKEN)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw aggregated document as JSON",
+    )
+    stats_parser.set_defaults(func=_cmd_cluster)
+    top_parser = cluster_sub.add_parser(
+        "top", help="read one shard's persisted metrics database"
+    )
+    top_parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="metrics database file (what 'repro serve --metrics'"
+        " wrote)",
+    )
+    top_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="shard cache directory holding metrics.sqlite",
+    )
+    top_parser.set_defaults(func=_cmd_cluster)
     return parser
 
 

@@ -14,13 +14,21 @@ in-process :meth:`repro.api.Pipeline.compile_many` result::
         result = client.compile("x[i] = y[i]*a + y[i-3]", registers=16)
         print(result.render())
 
-Address forms: ``http://host:port`` (the HTTP transport) or a
-filesystem path (the unix-socket line protocol).  ``connect()`` with no
-address reads ``$REPRO_SERVER``; when no server is configured or
-reachable it falls back — unless ``fallback=False`` — to a
-:class:`LocalClient` that compiles in-process through a private
-:class:`~repro.api.Pipeline`, so library code can *always* call
-``connect().compile(...)`` and only gain speed when a daemon is up.
+Address forms: ``http://host:port`` (the HTTP transport),
+``tcp://host:port`` or bare ``host:port`` (the TCP line protocol — the
+cluster transport), or a filesystem path (the unix-socket line
+protocol).  ``connect()`` with no address reads ``$REPRO_SERVER``; when
+no server is configured or reachable it falls back — unless
+``fallback=False`` — to a :class:`LocalClient` that compiles in-process
+through a private :class:`~repro.api.Pipeline`, so library code can
+*always* call ``connect().compile(...)`` and only gain speed when a
+daemon is up.  Transient connection failures are retried with bounded
+exponential backoff before the verdict (``retries=0`` turns that off).
+
+Daemons started with a shared token (``repro serve --token``) need the
+same token here: pass ``token=`` or set ``$REPRO_TOKEN``.  Wire clients
+attach it to every request (line protocol: a ``"token"`` field; HTTP:
+``Authorization: Bearer``).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import socket
+import time
 import urllib.error
 import urllib.request
 
@@ -36,11 +45,26 @@ from repro.api import CompilationResult, Pipeline
 #: Environment variable naming the default server address.
 ENV_SERVER = "REPRO_SERVER"
 
+#: Environment variable holding the shared authentication token.
+ENV_TOKEN = "REPRO_TOKEN"
+
 _UNSET = object()
 
 
 class ClientError(RuntimeError):
     """A server-side failure or protocol violation."""
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """Whether *error* is worth a reconnection retry: OS-level
+    connection failures and the HTTP client's unreachable-server
+    wrapper.  Auth rejections and server-side compile errors are
+    deterministic — retrying them only hides misconfiguration."""
+    if isinstance(error, OSError):
+        return True
+    return isinstance(error, ClientError) and str(error).startswith(
+        "server unreachable"
+    )
 
 
 def _request_mapping(
@@ -121,6 +145,13 @@ class _BaseClient:
     def compile_many(self, requests) -> list[CompilationResult]:
         raise NotImplementedError
 
+    def evaluate_cells(self, cell_documents) -> tuple[list, dict]:
+        """Evaluate experiment-engine cells (wire mappings from
+        :func:`repro.eval.engine.cell_to_wire`) on the daemon; returns
+        the per-cell data dicts in request order plus the batch's cache
+        counter movement."""
+        raise NotImplementedError
+
     def healthz(self) -> dict:
         raise NotImplementedError
 
@@ -140,23 +171,24 @@ class _BaseClient:
         self.close()
 
 
-class SocketClient(_BaseClient):
-    """Line-protocol client over a unix domain socket."""
+class _LineClient(_BaseClient):
+    """Shared line-protocol client: one connected stream socket, one
+    request line out, one response line back.  Subclasses provide the
+    connected socket (unix domain or TCP)."""
 
-    transport = "socket"
-
-    def __init__(self, path: str, timeout: float = 60.0) -> None:
+    def __init__(self, sock: socket.socket,
+                 token: str | None = None) -> None:
         super().__init__()
-        self.path = path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(path)
-        self._file = self._sock.makefile("rwb")
+        self.token = token
+        self._sock = sock
+        self._file = sock.makefile("rwb")
         self._next_id = 0
 
     def _call(self, op: str, **fields) -> dict:
         self._next_id += 1
         message = {"op": op, "id": self._next_id, **fields}
+        if self.token is not None:
+            message["token"] = self.token
         self._file.write(
             (json.dumps(message, sort_keys=True) + "\n").encode()
         )
@@ -190,6 +222,10 @@ class SocketClient(_BaseClient):
             for document in response["results"]
         ]
 
+    def evaluate_cells(self, cell_documents) -> tuple[list, dict]:
+        response = self._call("cells", cells=list(cell_documents))
+        return response["results"], response["cache"]
+
     def healthz(self) -> dict:
         return self._call("health")["health"]
 
@@ -208,15 +244,52 @@ class SocketClient(_BaseClient):
             self._sock.close()
 
 
+class SocketClient(_LineClient):
+    """Line-protocol client over a unix domain socket."""
+
+    transport = "socket"
+
+    def __init__(self, path: str, timeout: float = 60.0,
+                 token: str | None = None) -> None:
+        self.path = path
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(path)
+        except OSError:
+            sock.close()
+            raise
+        super().__init__(sock, token=token)
+
+
+class TCPClient(_LineClient):
+    """Line-protocol client over TCP — the cluster transport."""
+
+    transport = "tcp"
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 token: str | None = None) -> None:
+        self.host = host
+        self.port = int(port)
+        sock = socket.create_connection((host, self.port), timeout=timeout)
+        super().__init__(sock, token=token)
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+
 class HTTPClient(_BaseClient):
     """Client for the HTTP transport (standard library only)."""
 
     transport = "http"
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 token: str | None = None) -> None:
         super().__init__()
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     def _call(self, path: str, payload=None) -> dict:
         url = f"{self.base_url}{path}"
@@ -225,6 +298,8 @@ class HTTPClient(_BaseClient):
         if payload is not None:
             data = json.dumps(payload, sort_keys=True).encode()
             headers["Content-Type"] = "application/json"
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as r:
@@ -251,6 +326,10 @@ class HTTPClient(_BaseClient):
             CompilationResult.from_json(document)
             for document in response["results"]
         ]
+
+    def evaluate_cells(self, cell_documents) -> tuple[list, dict]:
+        response = self._call("/cells", list(cell_documents))
+        return response["results"], response["cache"]
 
     def healthz(self) -> dict:
         return self._call("/healthz")
@@ -317,27 +396,51 @@ class LocalClient(_BaseClient):
         return {"transport": "local", "cache": STATS.as_dict()}
 
 
-def client_for(address: str, timeout: float = 60.0) -> _BaseClient:
+def client_for(address: str, timeout: float = 60.0,
+               token: str | None = None) -> _BaseClient:
     """The wire client for one address: ``http(s)://...`` → HTTP,
+    ``tcp://host:port`` or bare ``host:port`` → TCP line protocol,
     anything else is a unix-socket path."""
     if address.startswith(("http://", "https://")):
-        return HTTPClient(address, timeout=timeout)
-    return SocketClient(address, timeout=timeout)
+        return HTTPClient(address, timeout=timeout, token=token)
+    tcp = None
+    if address.startswith("tcp://"):
+        tcp = address[len("tcp://"):]
+    elif ":" in address and "/" not in address:
+        tcp = address  # bare host:port — a path would carry a slash
+    if tcp is not None:
+        host, _, port_text = tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"bad TCP address {address!r}") from None
+        return TCPClient(host or "127.0.0.1", port,
+                         timeout=timeout, token=token)
+    return SocketClient(address, timeout=timeout, token=token)
 
 
 def connect(
     address: str | None = None,
     fallback: bool = True,
     timeout: float = 60.0,
+    retries: int = 3,
+    backoff: float = 0.05,
+    token: str | None = None,
     **pipeline_defaults,
 ) -> _BaseClient:
     """Connect to a compilation daemon, or fall back to in-process.
 
-    *address* defaults to ``$REPRO_SERVER``.  Reachability is verified
-    with a health probe; an unreachable (or unconfigured) server
-    returns a :class:`LocalClient` unless ``fallback=False``, in which
-    case the connection error (or a :class:`ValueError` when no address
-    was given at all) propagates.
+    *address* defaults to ``$REPRO_SERVER``; *token* defaults to
+    ``$REPRO_TOKEN``.  Reachability is verified with a health probe.
+    Transient failures (connection refused, server unreachable — a
+    daemon mid-restart) are retried up to *retries* times with bounded
+    exponential backoff (*backoff*, doubling per attempt, capped at
+    2s); ``retries=0`` is the escape hatch for fail-fast probing.
+    Deterministic failures — an auth rejection, a protocol error — are
+    never retried.  After the verdict, an unreachable (or unconfigured)
+    server returns a :class:`LocalClient` unless ``fallback=False``, in
+    which case the connection error (or a :class:`ValueError` when no
+    address was given at all) propagates.
 
     *pipeline_defaults* (``machine``/``scheduler``/``strategy``/
     ``registers``/``options``) become client-level request defaults,
@@ -354,15 +457,25 @@ def connect(
             f" (accepted: {', '.join(sorted(_DEFAULT_KEYS))})"
         )
     address = address if address is not None else os.environ.get(ENV_SERVER)
+    token = token if token is not None else os.environ.get(ENV_TOKEN)
     client: _BaseClient | None = None
     if address:
-        try:
-            client = client_for(address, timeout=timeout)
-            client.healthz()
-        except (OSError, ClientError, ValueError):
-            if not fallback:
-                raise
-            client = None
+        for attempt in range(max(0, retries) + 1):
+            try:
+                client = client_for(address, timeout=timeout, token=token)
+                client.healthz()
+                break
+            except (OSError, ClientError, ValueError) as error:
+                if client is not None:
+                    client.close()
+                    client = None
+                transient = is_transient_error(error)
+                if transient and attempt < retries:
+                    time.sleep(min(backoff * (2 ** attempt), 2.0))
+                    continue
+                if not fallback:
+                    raise
+                break
     elif not fallback:
         raise ValueError(
             f"no server address (pass one or set ${ENV_SERVER})"

@@ -1,0 +1,18 @@
+"""Sharded compilation cluster: consistent-hash routing over N daemons.
+
+The single-daemon service (:mod:`repro.server`) scales to one machine's
+cores; this package scales it out.  A :class:`ClusterClient` fronts N
+``repro serve --tcp`` daemons as one service, routing every request to
+the shard that owns its cache-key range (:class:`HashRing`), so each
+shard's warm pool, memos and persistent store stay hot for its slice of
+the keyspace — and failing over along the ring when a shard dies.
+
+``repro sweep --connect host:p1,host:p2`` routes the whole experiment
+grid through a cluster; ``repro cluster stats|top`` reads the
+per-shard and persisted (:mod:`repro.metrics`) telemetry back.
+"""
+
+from repro.cluster.client import ClusterClient, parse_addresses
+from repro.cluster.ring import HashRing
+
+__all__ = ["ClusterClient", "HashRing", "parse_addresses"]

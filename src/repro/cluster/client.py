@@ -1,0 +1,318 @@
+"""The sharded-cluster client: consistent-hash routing + fail-over.
+
+:class:`ClusterClient` fronts N ``repro serve`` daemons (the TCP line
+protocol, usually token-authenticated) as one compilation service:
+
+* every compile request is routed by its **cache identity** — the same
+  :func:`repro.sched.cache.compile_request_key` material the daemons'
+  memo/store layers use — so one key range always lands on one shard
+  and that shard's warm pool, in-memory memos and persistent store stay
+  hot for it;
+* experiment-engine cells route by their ``(loop, machine, scheduler)``
+  identity instead of the full key: every budget and variant of one
+  loop shares the ideal-schedule memo, so keeping them on one shard is
+  worth more than spreading them (a deliberate deviation from the
+  per-request key);
+* when a shard is unreachable the request fails over to the next node
+  in ring order (:meth:`repro.cluster.ring.HashRing.route`) — the same
+  successor every client computes — and the dead shard is skipped until
+  the whole ring has been marked down (then everything is retried).
+
+Results are byte-identical to in-process compilation: daemons serve the
+deterministic service shape, and cell payloads are JSON-exact scalars.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api import CompilationResult, Pipeline
+from repro.client import (
+    ClientError,
+    _UNSET,
+    _request_mapping,
+    connect,
+    is_transient_error,
+)
+from repro.cluster.ring import HashRing
+from repro.sched.cache import CacheStats, compile_request_key
+
+__all__ = ["ClusterClient", "parse_addresses"]
+
+
+def parse_addresses(value) -> list[str]:
+    """``"a:1,b:2"`` (or an iterable) → the endpoint list."""
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(",")]
+    else:
+        parts = [str(part).strip() for part in value]
+    addresses = [part for part in parts if part]
+    if not addresses:
+        raise ValueError("no cluster addresses given")
+    return addresses
+
+
+class ClusterClient:
+    """One logical compilation service over N sharded daemons."""
+
+    transport = "cluster"
+
+    def __init__(
+        self,
+        addresses,
+        token: str | None = None,
+        timeout: float = 120.0,
+        retries: int = 3,
+        replicas: int = 64,
+    ) -> None:
+        self.ring = HashRing(parse_addresses(addresses), replicas=replicas)
+        self.token = token
+        self.timeout = timeout
+        self.retries = retries
+        # key computation mirrors the daemons' (default pipeline, no
+        # cache side effects beyond parsing)
+        self._pipeline = Pipeline()
+        self._lock = threading.Lock()
+        self._clients: dict[str, object] = {}
+        self._client_locks = {
+            address: threading.Lock() for address in self.ring.nodes
+        }
+        self._down: set[str] = set()
+        self.routed = {address: 0 for address in self.ring.nodes}
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # routing keys
+    def shard_key(self, request: dict) -> str:
+        """The routing key of one compile-request mapping: its full
+        cache identity (what the shard's memo/store/coalescing key on),
+        so equal requests always meet on the same shard."""
+        normalized = self._pipeline.normalize_request(request)
+        ddg = self._pipeline.ddg(normalized["loop"], normalized["name"])
+        key = (
+            normalized["name"],
+            *compile_request_key(
+                ddg,
+                normalized["machine"],
+                normalized["scheduler"],
+                normalized["strategy"],
+                normalized["registers"],
+                normalized["options"],
+            ),
+        )
+        return "|".join(str(part) for part in key)
+
+    @staticmethod
+    def cell_key(cell) -> str:
+        """The routing key of one engine cell: loop + machine +
+        scheduler only — every budget/variant of a loop shares its
+        shard's ideal-schedule memo."""
+        return f"{cell.workload}|{cell.machine}|{cell.scheduler}"
+
+    # ------------------------------------------------------------------
+    # connections + fail-over
+    def _client(self, address: str):
+        with self._lock:
+            client = self._clients.get(address)
+        if client is not None:
+            return client
+        client = connect(
+            address, fallback=False, timeout=self.timeout,
+            retries=self.retries, token=self.token,
+        )
+        with self._lock:
+            existing = self._clients.setdefault(address, client)
+        if existing is not client:
+            client.close()
+        return existing
+
+    def _drop(self, address: str) -> None:
+        with self._lock:
+            client = self._clients.pop(address, None)
+            self._down.add(address)
+            if len(self._down) >= len(self.ring):
+                # the whole ring looks dead: forget the verdicts and let
+                # the next request probe everything again
+                self._down.clear()
+        if client is not None:
+            client.close()
+
+    def _call_routed(self, key: str, call):
+        """Run ``call(client)`` on *key*'s primary shard, failing over
+        along the ring on transient errors.  Deterministic failures
+        (auth, protocol, compile errors) propagate immediately."""
+        route = self.ring.route(key)
+        candidates = [a for a in route if a not in self._down] or route
+        last_error: Exception | None = None
+        for position, address in enumerate(candidates):
+            try:
+                client = self._client(address)
+                with self._client_locks[address]:
+                    result = call(client)
+            except Exception as error:
+                if not is_transient_error(error):
+                    raise
+                last_error = error
+                self._drop(address)
+                continue
+            with self._lock:
+                self.routed[address] += 1
+                if position > 0:
+                    self.failovers += 1
+                self._down.discard(address)
+            return result
+        raise ClientError(
+            f"no cluster shard reachable for key {key[:40]!r}..."
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # the compile surface
+    def compile(
+        self,
+        source,
+        name: str = "loop",
+        machine=None,
+        scheduler=None,
+        strategy: str | None = None,
+        registers=_UNSET,
+        options: dict | None = None,
+    ) -> CompilationResult:
+        return self.compile_request(_request_mapping(
+            source, name, machine, scheduler, strategy, registers, options
+        ))
+
+    def compile_request(self, request: dict) -> CompilationResult:
+        key = self.shard_key(request)
+        return self._call_routed(
+            key, lambda client: client.compile_request(request)
+        )
+
+    def compile_many(self, requests) -> list[CompilationResult]:
+        """Scatter a batch across the shards (grouped by routing key),
+        gather back in request order."""
+        requests = list(requests)
+        groups: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            shard = self.ring.node_for(self.shard_key(request))
+            groups.setdefault(shard, []).append(index)
+        results: list = [None] * len(requests)
+
+        def run_group(indexes: list[int]):
+            batch = [requests[i] for i in indexes]
+            key = self.shard_key(batch[0])
+            return self._call_routed(
+                key, lambda client: client.compile_many(batch)
+            )
+
+        with ThreadPoolExecutor(max_workers=max(1, len(groups))) as pool:
+            futures = {
+                pool.submit(run_group, indexes): indexes
+                for indexes in groups.values()
+            }
+            for future, indexes in futures.items():
+                for index, result in zip(indexes, future.result()):
+                    results[index] = result
+        return results
+
+    # ------------------------------------------------------------------
+    # the engine surface
+    def run_cells(self, cells) -> tuple[list, "CacheStats"]:
+        """Evaluate engine cells across the shards: grouped by
+        :meth:`cell_key`, scattered in parallel, gathered as
+        :class:`repro.eval.engine.CellResult` objects in the engine's
+        deterministic order, plus the summed remote cache movement."""
+        from repro.eval.engine import Cell, CellResult, cell_to_wire
+
+        ordered = sorted(cells, key=Cell.sort_key)
+        groups: dict[str, list] = {}
+        for cell in ordered:
+            shard = self.ring.node_for(self.cell_key(cell))
+            groups.setdefault(shard, []).append(cell)
+
+        def run_group(group_cells):
+            documents = [cell_to_wire(cell) for cell in group_cells]
+            key = self.cell_key(group_cells[0])
+            data_list, cache = self._call_routed(
+                key,
+                lambda client: client.evaluate_cells(documents),
+            )
+            return group_cells, data_list, cache
+
+        by_cell: dict = {}
+        total = CacheStats()
+        with ThreadPoolExecutor(max_workers=max(1, len(groups))) as pool:
+            outcomes = pool.map(run_group, groups.values())
+            for group_cells, data_list, cache in outcomes:
+                for cell, data in zip(group_cells, data_list):
+                    by_cell[cell] = data
+                total.add(CacheStats(**cache))
+        results = [
+            CellResult(cell=cell, data=by_cell[cell]) for cell in ordered
+        ]
+        return results, total
+
+    # ------------------------------------------------------------------
+    # telemetry + lifecycle
+    def stats(self) -> dict:
+        """Per-shard ``/stats`` documents plus a cluster aggregate
+        (summed service counters + client-side routing telemetry)."""
+        shards: dict[str, dict] = {}
+        totals: dict[str, int] = {}
+        for address in self.ring.nodes:
+            try:
+                document = self._client(address).stats()
+            except Exception as error:
+                shards[address] = {"error": str(error)}
+                continue
+            shards[address] = document
+            for name, value in (document.get("service") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    totals[name] = totals.get(name, 0) + value
+        with self._lock:
+            routing = {
+                "routed": dict(self.routed),
+                "failovers": self.failovers,
+                "down": sorted(self._down),
+            }
+        return {
+            "schema": "repro.cluster-stats/1",
+            "nodes": list(self.ring.nodes),
+            "shards": shards,
+            "cluster": {"service": dict(sorted(totals.items()))},
+            "routing": routing,
+        }
+
+    def healthz(self) -> dict:
+        """Liveness of every shard (never raises)."""
+        health = {}
+        for address in self.ring.nodes:
+            try:
+                health[address] = self._client(address).healthz()
+            except Exception as error:
+                health[address] = {"status": "unreachable",
+                                   "error": str(error)}
+        return health
+
+    def shutdown(self) -> None:
+        """Stop every shard daemon."""
+        for address in self.ring.nodes:
+            try:
+                self._client(address).shutdown()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

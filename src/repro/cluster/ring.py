@@ -1,0 +1,85 @@
+"""Consistent-hash ring for shard routing.
+
+The cluster routes every request to one daemon by hashing the request's
+cache identity onto a ring of virtual nodes (sha256; *replicas* virtual
+points per endpoint).  Consistent hashing is what keeps shard stores
+hot: adding or removing one endpoint remaps only the keys that hashed
+into its arcs — every other key keeps hitting the shard whose memo and
+persistent store already know it.
+
+:meth:`HashRing.route` returns the distinct endpoints in ring order
+from the key's position — element 0 is the primary shard, the rest are
+the deterministic fail-over sequence (the same order every client
+computes, so a dead shard's keys all land on one successor, not
+scattered at random).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(value: str) -> int:
+    """A ring position: the first 8 bytes of sha256, as an int."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over endpoint strings."""
+
+    def __init__(self, nodes, replicas: int = 64) -> None:
+        self.nodes = tuple(dict.fromkeys(str(node) for node in nodes))
+        if not self.nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        points = []
+        for node in self.nodes:
+            for replica in range(replicas):
+                points.append((_point(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: str) -> str:
+        """The primary shard for *key*."""
+        return self.route(key, count=1)[0]
+
+    def route(self, key: str, count: int | None = None) -> list[str]:
+        """The distinct nodes in ring order from *key*'s position: the
+        primary shard first, then the fail-over successors.  *count*
+        truncates (defaults to every node)."""
+        wanted = len(self.nodes) if count is None else min(count, len(self.nodes))
+        start = bisect.bisect_right(self._points, _point(key))
+        ordered: list[str] = []
+        seen = set()
+        total = len(self._owners)
+        for offset in range(total):
+            node = self._owners[(start + offset) % total]
+            if node in seen:
+                continue
+            seen.add(node)
+            ordered.append(node)
+            if len(ordered) == wanted:
+                break
+        return ordered
+
+    def without(self, node: str) -> "HashRing":
+        """The ring with *node* removed (what the cluster client uses
+        after a shard dies) — all other nodes' arcs are untouched."""
+        remaining = [n for n in self.nodes if n != node]
+        return HashRing(remaining, replicas=self.replicas)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self.nodes
+
+    def __repr__(self) -> str:
+        return f"HashRing({list(self.nodes)!r}, replicas={self.replicas})"

@@ -51,6 +51,7 @@ sweepable.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -74,10 +75,13 @@ __all__ = [
     "CellResult",
     "EngineRun",
     "SweepReport",
+    "cell_from_wire",
+    "cell_to_wire",
     "evaluate_cell",
     "machine_spec",
     "pack_options",
     "resolve_machine",
+    "routed_through",
     "run_cells",
     "run_sweep",
     "scheduler_name",
@@ -182,6 +186,41 @@ class CellResult:
             "weight": self.cell.weight,
             "data": self.data,
         }
+
+
+# ----------------------------------------------------------------------
+# the wire shape (the cluster's ``cells`` protocol op)
+def cell_to_wire(cell: Cell) -> dict:
+    """One cell as a JSON-safe mapping (options become ``[key, value]``
+    pairs — cell option values are already wire scalars)."""
+    return {
+        "kind": cell.kind,
+        "workload": cell.workload,
+        "source": cell.source,
+        "weight": cell.weight,
+        "machine": cell.machine,
+        "budget": cell.budget,
+        "variant": cell.variant,
+        "scheduler": cell.scheduler,
+        "options": [[key, value] for key, value in cell.options],
+    }
+
+
+def cell_from_wire(document: dict) -> Cell:
+    """The inverse of :func:`cell_to_wire` (what a shard daemon runs)."""
+    document = dict(document)
+    options = document.pop("options", [])
+    return Cell(
+        kind=str(document["kind"]),
+        workload=str(document["workload"]),
+        source=str(document["source"]),
+        weight=int(document["weight"]),
+        machine=str(document["machine"]),
+        budget=int(document.get("budget", 0)),
+        variant=str(document.get("variant", "")),
+        scheduler=str(document.get("scheduler", "hrms")),
+        options=tuple((str(key), value) for key, value in options),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -437,14 +476,44 @@ class EngineRun:
 # (one artifact's ideal pass serves the next's).
 _worker_pool = worker_pool
 
+# When set (via routed_through), run_cells ships cells to a
+# repro.cluster.ClusterClient instead of evaluating locally — the hook
+# sits here so every experiment runner (run_table1, run_fig8, ...)
+# routes without signature changes.
+_ACTIVE_CLUSTER = None
+
+
+@contextlib.contextmanager
+def routed_through(cluster):
+    """Route every :func:`run_cells` call inside the block through
+    *cluster* (a :class:`repro.cluster.ClusterClient`).  Results are
+    byte-identical to local evaluation; only where the work runs (and
+    whose caches warm up) changes."""
+    global _ACTIVE_CLUSTER
+    previous = _ACTIVE_CLUSTER
+    _ACTIVE_CLUSTER = cluster
+    try:
+        yield cluster
+    finally:
+        _ACTIVE_CLUSTER = previous
+
 
 def run_cells(cells: list[Cell], jobs: int = 1) -> EngineRun:
     """Evaluate *cells*; results are sorted by cell key, so the outcome
-    is identical whatever *jobs* is."""
+    is identical whatever *jobs* is (and whether they run locally or on
+    a routed cluster)."""
     from repro.sched.cache import caching_enabled
 
     ordered = sorted(cells, key=Cell.sort_key)
     started = time.perf_counter()
+    if _ACTIVE_CLUSTER is not None and ordered:
+        results, cache = _ACTIVE_CLUSTER.run_cells(ordered)
+        return EngineRun(
+            results=results,
+            jobs=jobs,
+            seconds=time.perf_counter() - started,
+            cache=cache,
+        )
     # cache.disabled() is process-local: worker processes would cache
     # anyway (or inherit a frozen flag at fork time), so honour it by
     # evaluating serially in this process.
@@ -633,6 +702,7 @@ def run_sweep(
     suite_info: dict | None = None,
     cache_dir: "str | sched_store.ScheduleStore | None" = None,
     suite_filter: "str | list[str] | None" = None,
+    cluster=None,
 ) -> SweepReport:
     """Regenerate the requested paper artifacts in one engine pass.
 
@@ -645,10 +715,33 @@ def run_sweep(
     path or a :class:`~repro.sched.store.ScheduleStore`) activates the
     persistent store for the whole sweep (parent process and every
     worker) — a repeated sweep into the same directory is served from
-    disk and produces byte-identical JSON.
+    disk and produces byte-identical JSON.  ``cluster`` (a
+    :class:`repro.cluster.ClusterClient` or a ``host:port,host:port``
+    address string — ``repro sweep --connect``) routes every cell
+    through the sharded daemons instead of local evaluation; the JSON
+    stays byte-identical either way.
     """
     if cache_dir is not None:
         with sched_store.using(cache_dir):
+            return run_sweep(
+                suite=suite, machines=machines, budgets=budgets,
+                artifacts=artifacts, jobs=jobs, scheduler=scheduler,
+                suite_info=suite_info, suite_filter=suite_filter,
+                cluster=cluster,
+            )
+    if cluster is not None:
+        if isinstance(cluster, (str, list, tuple)):
+            from repro.cluster import ClusterClient
+
+            with ClusterClient(cluster) as owned:
+                with routed_through(owned):
+                    return run_sweep(
+                        suite=suite, machines=machines, budgets=budgets,
+                        artifacts=artifacts, jobs=jobs,
+                        scheduler=scheduler, suite_info=suite_info,
+                        suite_filter=suite_filter,
+                    )
+        with routed_through(cluster):
             return run_sweep(
                 suite=suite, machines=machines, budgets=budgets,
                 artifacts=artifacts, jobs=jobs, scheduler=scheduler,

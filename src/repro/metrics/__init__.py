@@ -1,0 +1,39 @@
+"""Persistent service metrics: time-series counters and latency
+histograms in SQLite.
+
+The layer has two halves, mirroring the monitoring/metrics + db split
+this repo's ROADMAP cites:
+
+* :mod:`repro.metrics.db` — :class:`MetricsDB`, the SQLite access layer
+  (schema ``repro.metrics/1``): append-only ``counters`` and
+  ``latencies`` tables, one row per flushed interval, safe for many
+  readers while one daemon writes;
+* :mod:`repro.metrics.recorder` — :class:`MetricsRecorder` and
+  :class:`LatencyHistogram`, the in-memory accumulation side: cheap
+  thread-safe ``count()``/``observe()`` on the hot path, periodic
+  flushes of interval deltas into the database.
+
+``repro serve`` wires a recorder into every
+:class:`repro.server.service.CompileService`; with ``--cache-dir`` the
+database lives at ``<cache-dir>/metrics.sqlite`` (see
+:func:`metrics_path`), so the same directory that holds a shard's
+schedule store also holds its observability history.  ``repro cluster
+top`` reads the database back.
+"""
+
+from repro.metrics.db import DB_FILENAME, MetricsDB, metrics_path, percentile
+from repro.metrics.recorder import (
+    BUCKET_BOUNDS_MS,
+    LatencyHistogram,
+    MetricsRecorder,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS_MS",
+    "DB_FILENAME",
+    "LatencyHistogram",
+    "MetricsDB",
+    "MetricsRecorder",
+    "metrics_path",
+    "percentile",
+]

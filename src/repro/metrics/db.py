@@ -1,0 +1,194 @@
+"""SQLite persistence for service metrics (schema ``repro.metrics/1``).
+
+Two append-only tables, one row per flushed interval:
+
+* ``counters(ts, name, value)`` — *value* is the counter's movement in
+  the interval that ended at *ts* (a time series of deltas; totals are
+  ``SUM(value)``);
+* ``latencies(ts, op, le_ms, count)`` — a histogram slice: *count*
+  observations of operation *op* fell into the bucket whose upper bound
+  is *le_ms* milliseconds during that interval.  Bucket bounds are
+  :data:`repro.metrics.recorder.BUCKET_BOUNDS_MS`; the open-ended last
+  bucket is stored with an infinite bound (SQLite round-trips it).
+
+The writer is one daemon's :class:`~repro.metrics.recorder
+.MetricsRecorder`; readers (``repro cluster top``, dashboards) open the
+same file independently.  WAL mode keeps a reader from blocking the
+daemon's flushes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sqlite3
+import threading
+import time
+
+SCHEMA = "repro.metrics/1"
+
+#: Database filename under a cache directory (see :func:`metrics_path`).
+DB_FILENAME = "metrics.sqlite"
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    ts REAL NOT NULL,
+    name TEXT NOT NULL,
+    value INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS counters_name_ts ON counters (name, ts);
+CREATE TABLE IF NOT EXISTS latencies (
+    ts REAL NOT NULL,
+    op TEXT NOT NULL,
+    le_ms REAL NOT NULL,
+    count INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS latencies_op_ts ON latencies (op, ts);
+"""
+
+
+def metrics_path(cache_dir) -> pathlib.Path:
+    """The conventional database location under a store/cache
+    directory: ``<cache_dir>/metrics.sqlite``."""
+    return pathlib.Path(cache_dir) / DB_FILENAME
+
+
+def percentile(histogram: dict[float, int], p: float,
+               max_ms: float | None = None) -> float:
+    """Estimate the *p*-th percentile (``0 < p <= 100``) from a
+    ``{upper_bound_ms: count}`` histogram: the upper bound of the first
+    bucket the cumulative count reaches.  For the open-ended last
+    bucket the recorded maximum (*max_ms*) stands in when given."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    rank = total * (p / 100.0)
+    cumulative = 0
+    for bound in sorted(histogram):
+        cumulative += histogram[bound]
+        if cumulative >= rank:
+            if bound == float("inf"):
+                return max_ms if max_ms is not None else bound
+            return bound
+    return max_ms if max_ms is not None else 0.0
+
+
+class MetricsDB:
+    """One metrics database file.  All methods are thread-safe (one
+    connection guarded by a lock; writes are single short
+    transactions)."""
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        with self._lock, self._conn:
+            self._conn.executescript(_TABLES)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema", SCHEMA),
+            )
+
+    # ------------------------------------------------------------------
+    # writing (the recorder's flush path)
+    def record(
+        self,
+        counters: dict[str, int],
+        histograms: dict[str, dict[float, int]],
+        ts: float | None = None,
+    ) -> None:
+        """Append one interval: counter deltas and per-op histogram
+        slices, all stamped with *ts* (default: now).  Zero-valued
+        entries are skipped — an idle interval writes nothing."""
+        ts = time.time() if ts is None else ts
+        counter_rows = [
+            (ts, name, int(value))
+            for name, value in sorted(counters.items())
+            if value
+        ]
+        latency_rows = [
+            (ts, op, float(bound), int(count))
+            for op, buckets in sorted(histograms.items())
+            for bound, count in sorted(buckets.items())
+            if count
+        ]
+        if not counter_rows and not latency_rows:
+            return
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT INTO counters (ts, name, value) VALUES (?, ?, ?)",
+                counter_rows,
+            )
+            self._conn.executemany(
+                "INSERT INTO latencies (ts, op, le_ms, count)"
+                " VALUES (?, ?, ?, ?)",
+                latency_rows,
+            )
+
+    # ------------------------------------------------------------------
+    # reading (``repro cluster top``, dashboards, tests)
+    def counter_names(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT name FROM counters ORDER BY name"
+            ).fetchall()
+        return [name for (name,) in rows]
+
+    def counter_total(self, name: str) -> int:
+        with self._lock:
+            (total,) = self._conn.execute(
+                "SELECT COALESCE(SUM(value), 0) FROM counters WHERE name = ?",
+                (name,),
+            ).fetchone()
+        return int(total)
+
+    def counter_totals(self) -> dict[str, int]:
+        """Every counter's lifetime total (``SUM`` over the series)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name, SUM(value) FROM counters GROUP BY name"
+            ).fetchall()
+        return {name: int(total) for name, total in rows}
+
+    def counter_series(self, name: str, limit: int = 1000) -> list[tuple]:
+        """The newest *limit* ``(ts, value)`` points, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT ts, value FROM counters WHERE name = ?"
+                " ORDER BY ts DESC LIMIT ?",
+                (name, limit),
+            ).fetchall()
+        return list(reversed(rows))
+
+    def latency_ops(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT op FROM latencies ORDER BY op"
+            ).fetchall()
+        return [op for (op,) in rows]
+
+    def histogram(self, op: str) -> dict[float, int]:
+        """The merged lifetime histogram of *op*:
+        ``{upper_bound_ms: count}``."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT le_ms, SUM(count) FROM latencies WHERE op = ?"
+                " GROUP BY le_ms",
+                (op,),
+            ).fetchall()
+        return {float(bound): int(count) for bound, count in rows}
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "MetricsDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

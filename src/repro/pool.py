@@ -50,6 +50,59 @@ def warm_pool(jobs: int) -> None:
         worker_pool(jobs)
 
 
+def _probe_worker(delay: float) -> tuple:
+    """Runs inside one pool worker: its pid plus its process-lifetime
+    cache/work counters.  The tiny sleep keeps one fast worker from
+    draining every probe before its siblings pick one up."""
+    import os
+    import time
+
+    from repro.graph.index import WORK
+    from repro.sched.cache import STATS
+
+    time.sleep(delay)
+    return os.getpid(), STATS.as_dict(), WORK.as_dict()
+
+
+def worker_stats(timeout: float = 10.0) -> dict:
+    """Aggregate per-worker cache/work counters across the persistent
+    pool: ``{"processes": N, "cache": {...summed...}, "work": {...}}``.
+
+    With ``jobs > 1`` the schedule computations happen in pool workers,
+    so the parent's :data:`repro.sched.cache.STATS` never sees them —
+    this is how the daemon's ``/stats`` makes warm-pool hits visible.
+    Collection submits probe tasks until every live worker pid has
+    answered (bounded rounds), so the sum covers the whole pool; with
+    no pool alive the blocks are empty.
+    """
+    if _POOL is None or _POOL_KEY is None or _POOL_KEY[0] <= 1:
+        return {"processes": 0, "cache": {}, "work": {}}
+    jobs = _POOL_KEY[0]
+    try:  # the executor's live worker pids, when the version exposes them
+        expected = set(_POOL._processes or {})
+    except AttributeError:  # pragma: no cover - stdlib internals moved
+        expected = set()
+    seen: dict[int, tuple[dict, dict]] = {}
+    for _ in range(5):
+        futures = [_POOL.submit(_probe_worker, 0.02) for _ in range(jobs)]
+        for future in futures:
+            try:
+                pid, cache, work = future.result(timeout=timeout)
+            except Exception:  # a dying worker must not break /stats
+                continue
+            seen[pid] = (cache, work)
+        if not expected or expected <= set(seen):
+            break
+    cache_total: dict[str, int] = {}
+    work_total: dict[str, int] = {}
+    for cache, work in seen.values():
+        for name, value in cache.items():
+            cache_total[name] = cache_total.get(name, 0) + value
+        for name, value in work.items():
+            work_total[name] = work_total.get(name, 0) + value
+    return {"processes": len(seen), "cache": cache_total, "work": work_total}
+
+
 def pool_stats() -> dict:
     """Telemetry snapshot of the persistent pool (the server's
     ``/stats`` endpoint): whether one is alive, its width, and the

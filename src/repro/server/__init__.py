@@ -12,8 +12,9 @@ Layers:
   queue, batch dispatcher and in-flight request coalescing;
 * :mod:`repro.server.protocol` — the line-delimited JSON wire protocol
   (schema ``repro.server/1``);
-* :mod:`repro.server.daemon` — stdio/socket/HTTP transports and the
-  :func:`serve` loop.
+* :mod:`repro.server.daemon` — stdio/socket/TCP/HTTP transports and
+  the :func:`serve` loop (TCP + ``--token`` is the sharded-cluster
+  transport — see :mod:`repro.cluster`).
 
 Clients connect through :mod:`repro.client` (``connect()``), or any
 HTTP client against ``POST /compile``.  See ``docs/SERVER.md``.
@@ -22,19 +23,30 @@ HTTP client against ``POST /compile``.  See ``docs/SERVER.md``.
 from repro.server.daemon import (
     CompileHTTPServer,
     LineSocketServer,
+    LineTCPServer,
+    parse_tcp_address,
     serve,
     serve_stdio,
 )
-from repro.server.protocol import PROTOCOL_SCHEMA, handle_line
+from repro.server.protocol import (
+    PROTOCOL_SCHEMA,
+    UNAUTHORIZED,
+    check_token,
+    handle_line,
+)
 from repro.server.service import CompileService, ServiceClosed
 
 __all__ = [
     "CompileHTTPServer",
     "CompileService",
     "LineSocketServer",
+    "LineTCPServer",
     "PROTOCOL_SCHEMA",
     "ServiceClosed",
+    "UNAUTHORIZED",
+    "check_token",
     "handle_line",
+    "parse_tcp_address",
     "serve",
     "serve_stdio",
 ]

@@ -1,6 +1,6 @@
-"""Daemon transports: stdio, unix-socket and HTTP front ends.
+"""Daemon transports: stdio, unix-socket, TCP and HTTP front ends.
 
-All three speak to one shared :class:`repro.server.service.CompileService`
+All four speak to one shared :class:`repro.server.service.CompileService`
 — one warm pool, one store, one coalescing queue — and differ only in
 framing:
 
@@ -9,14 +9,22 @@ framing:
   subprocess and pipe requests);
 * **unix socket** (``repro serve --socket PATH``) — the same line
   protocol, many concurrent connections, one handler thread each;
+* **TCP** (``repro serve --tcp [HOST:]PORT``) — the same line protocol
+  on an INET socket: the cluster transport.  Combine with ``--token``
+  (or ``$REPRO_TOKEN``) so every request line must carry the shared
+  token — unauthenticated lines are rejected at the protocol layer
+  with a constant-time comparison;
 * **HTTP** (``repro serve --http PORT``) — a minimal standard-library
   endpoint: ``POST /compile`` and ``POST /compile_many`` take the same
-  request mappings, ``GET /healthz`` and ``GET /stats`` expose the
-  service telemetry, ``POST /shutdown`` stops the daemon.
+  request mappings, ``POST /cells`` evaluates routed engine cells,
+  ``GET /healthz`` and ``GET /stats`` expose the service telemetry,
+  ``POST /shutdown`` stops the daemon.  With a token configured, every
+  endpoint except ``GET /healthz`` (liveness probes stay cheap and
+  credential-free) requires ``Authorization: Bearer <token>``.
 
-:func:`serve` wires any combination of the three to one service, prints
-one ``listening on ...`` line per transport to stderr (stdout belongs
-to the stdio protocol), and runs until EOF/SIGTERM/SIGINT or a
+:func:`serve` wires any combination to one service, prints one
+``listening on ...`` line per transport to stderr (stdout belongs to
+the stdio protocol), and runs until EOF/SIGTERM/SIGINT or a
 ``shutdown`` request.  Responses are byte-identical across transports:
 they all serialize the same ``repro.compile/1`` documents with sorted
 keys.
@@ -38,7 +46,7 @@ from repro.server.service import CompileService
 
 
 # ----------------------------------------------------------------------
-# unix-socket transport
+# line-protocol stream transports (unix socket + TCP)
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # one connection, many lines
         for line in self.rfile:
@@ -51,6 +59,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
             response = protocol.handle_line(
                 self.server.service, line,
                 shutdown=lambda: pending_shutdown.append(True),
+                token=self.server.token,
             )
             try:
                 self.wfile.write(protocol.encode(response))
@@ -69,9 +78,11 @@ class LineSocketServer(socketserver.ThreadingUnixStreamServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, path: str, service: CompileService, stop=None):
+    def __init__(self, path: str, service: CompileService, stop=None,
+                 token: "str | None" = None):
         self.service = service
         self._stop = stop
+        self.token = token
         self.path = path
         with contextlib.suppress(OSError):
             os.unlink(path)  # a stale socket from a dead daemon
@@ -85,6 +96,39 @@ class LineSocketServer(socketserver.ThreadingUnixStreamServer):
         super().server_close()
         with contextlib.suppress(OSError):
             os.unlink(self.path)
+
+
+class LineTCPServer(socketserver.ThreadingTCPServer):
+    """The line protocol on a TCP socket — the cluster transport.
+
+    Identical framing and semantics to :class:`LineSocketServer`; the
+    only differences are the address family and that a shared *token*
+    is the expected deployment (the socket is reachable beyond the
+    local filesystem's permission checks).  Pass ``port=0`` to bind an
+    ephemeral port and read it back from :attr:`port`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, host: str, port: int, service: CompileService,
+                 stop=None, token: "str | None" = None):
+        self.service = service
+        self._stop = stop
+        self.token = token
+        super().__init__((host, port), _LineHandler)
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def stop_daemon(self) -> None:
+        if self._stop is not None:
+            self._stop()
 
 
 # ----------------------------------------------------------------------
@@ -109,8 +153,24 @@ class _HTTPHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         return json.loads(self.rfile.read(length) or b"null")
 
+    def _authorized(self) -> bool:
+        """Bearer-token check; ``/healthz`` stays open so liveness
+        probes never need credentials."""
+        if self.path == "/healthz":
+            return True
+        header = self.headers.get("Authorization") or ""
+        provided = (
+            header[len("Bearer "):] if header.startswith("Bearer ") else None
+        )
+        if protocol.check_token(provided, self.server.token):
+            return True
+        self._send(401, {"error": protocol.UNAUTHORIZED})
+        return False
+
     def do_GET(self) -> None:
         service = self.server.service
+        if not self._authorized():
+            return
         if self.path == "/healthz":
             self._send(200, service.healthz())
         elif self.path == "/stats":
@@ -120,6 +180,8 @@ class _HTTPHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         service = self.server.service
+        if not self._authorized():
+            return
         try:
             if self.path == "/compile":
                 request = self._body()
@@ -134,6 +196,12 @@ class _HTTPHandler(BaseHTTPRequestHandler):
                     200, {"results": [r.to_json() for r in
                                       service.compile_many(requests)]}
                 )
+            elif self.path == "/cells":
+                cells = self._body()
+                if not isinstance(cells, list):
+                    raise ValueError("body must be a list of cell mappings")
+                results, cache = service.evaluate_cells(cells)
+                self._send(200, {"results": results, "cache": cache})
             elif self.path == "/shutdown":
                 self._send(200, {"shutdown": True})
                 self.server.stop_daemon()
@@ -146,14 +214,15 @@ class _HTTPHandler(BaseHTTPRequestHandler):
 
 
 class CompileHTTPServer(ThreadingHTTPServer):
-    """``POST /compile|/compile_many``, ``GET /healthz|/stats``."""
+    """``POST /compile|/compile_many|/cells``, ``GET /healthz|/stats``."""
 
     daemon_threads = True
 
     def __init__(self, port: int, service: CompileService, stop=None,
-                 host: str = "127.0.0.1"):
+                 host: str = "127.0.0.1", token: "str | None" = None):
         self.service = service
         self._stop = stop
+        self.token = token
         super().__init__((host, port), _HTTPHandler)
 
     @property
@@ -229,22 +298,45 @@ def _interruptible_lines(stop_event: threading.Event):
 
 
 # ----------------------------------------------------------------------
+def parse_tcp_address(value) -> tuple[str, int]:
+    """``"[HOST:]PORT"`` (or a bare int, or a ``(host, port)`` pair) →
+    ``(host, port)``; the host defaults to ``127.0.0.1``."""
+    if isinstance(value, tuple):
+        host, port = value
+        return str(host), int(port)
+    if isinstance(value, int):
+        return "127.0.0.1", value
+    text = str(value)
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        return host or "127.0.0.1", int(port_text)
+    return "127.0.0.1", int(text)
+
+
 def serve(
     service: CompileService,
     http_port: int | None = None,
     socket_path: str | None = None,
     stdio: bool = False,
+    tcp=None,
+    token: str | None = None,
     log=None,
 ) -> int:
     """Run the daemon until EOF (stdio), SIGTERM/SIGINT, or a
     ``shutdown`` request on any transport.  Starts whatever transports
-    are requested; with none requested, stdio is implied.  Returns the
-    process exit code (0 on a clean shutdown)."""
+    are requested; with none requested, stdio is implied.  *tcp* is a
+    ``"[HOST:]PORT"`` string / port / ``(host, port)`` pair; *token*
+    makes the socket, TCP and HTTP transports demand the shared token
+    on every request (stdio is exempt — it is the operator's own
+    pipe).  Returns the process exit code (0 on a clean shutdown)."""
     log = log if log is not None else (
         lambda message: print(message, file=sys.stderr, flush=True)
     )
-    if http_port is None and socket_path is None:
+    if http_port is None and socket_path is None and tcp is None:
         stdio = True
+    if tcp is not None and token is None:
+        log("repro serve: warning: TCP transport without --token — "
+            "any process that can reach the port can submit work")
     stop_event = threading.Event()
     servers = []
     threads = []
@@ -259,7 +351,7 @@ def serve(
     try:
         if http_port is not None:
             http_server = CompileHTTPServer(
-                http_port, service, stop=stop_event.set
+                http_port, service, stop=stop_event.set, token=token
             )
             servers.append(http_server)
             threads.append(threading.Thread(
@@ -270,7 +362,7 @@ def serve(
                 f"{http_server.port}")
         if socket_path is not None:
             line_server = LineSocketServer(
-                socket_path, service, stop=stop_event.set
+                socket_path, service, stop=stop_event.set, token=token
             )
             servers.append(line_server)
             threads.append(threading.Thread(
@@ -278,6 +370,18 @@ def serve(
                 name="repro-serve-socket",
             ))
             log(f"repro serve: listening on socket {socket_path}")
+        if tcp is not None:
+            host, port = parse_tcp_address(tcp)
+            tcp_server = LineTCPServer(
+                host, port, service, stop=stop_event.set, token=token
+            )
+            servers.append(tcp_server)
+            threads.append(threading.Thread(
+                target=tcp_server.serve_forever, daemon=True,
+                name="repro-serve-tcp",
+            ))
+            log(f"repro serve: listening on tcp://{tcp_server.host}:"
+                f"{tcp_server.port}")
         if stdio:
             # stdio runs in its own thread like every other transport,
             # so the main thread always waits on stop_event — a signal

@@ -1,7 +1,7 @@
 """The line-delimited JSON wire protocol (schema ``repro.server/1``).
 
 One request per line, one response line per request — the same envelope
-over stdio, a unix socket, or any stream transport:
+over stdio, a unix socket, TCP, or any stream transport:
 
     → {"op": "compile", "id": 1, "request": {"loop": "x[i] = y[i]+a"}}
     ← {"id": 1, "ok": true, "result": {"schema": "repro.compile/1", ...}}
@@ -17,11 +17,24 @@ compile        ``request`` is one compile-request mapping (the
 compile_many   ``requests`` is a list of mappings; the response carries
                ``results`` in request order (duplicates coalesce onto
                one computation server-side)
+cells          ``cells`` is a list of experiment-engine cell mappings
+               (:func:`repro.eval.engine.cell_to_wire`); the response
+               carries ``results`` — one deterministic cell-data dict
+               per cell, in request order — plus the batch's ``cache``
+               counter movement (how ``repro sweep --connect`` routes
+               engine cells through a shard)
 stats          the service's ``/stats`` telemetry document
 health         the service's ``/healthz`` liveness document
-shutdown       acknowledge, then stop the daemon (local operator
-               convenience — the daemon is a trusted local service)
+shutdown       acknowledge, then stop the daemon
 =============  ========================================================
+
+**Authentication.**  A daemon started with a shared token (``repro
+serve --token`` / ``$REPRO_TOKEN``) rejects, at this layer, every
+operation whose line does not carry a matching ``"token"`` field —
+before any request material is parsed or compiled.  Comparison is
+constant-time (:func:`check_token`), so the token cannot be recovered
+through timing.  The stdio transport stays unauthenticated (it *is*
+the operator's own pipe); socket, TCP and HTTP transports all enforce.
 
 Error responses are ``{"id": ..., "ok": false, "error": "message"}``;
 a line that is not valid JSON gets an ``id: null`` error response.
@@ -32,12 +45,33 @@ server restarts.
 
 from __future__ import annotations
 
+import hmac
 import json
 
 PROTOCOL_SCHEMA = "repro.server/1"
 
 #: Operations a protocol line may carry.
-OPS = ("compile", "compile_many", "stats", "health", "shutdown")
+OPS = ("compile", "compile_many", "cells", "stats", "health", "shutdown")
+
+#: The error message every unauthenticated request gets (transports
+#: match on it to map auth failures to their own status codes).
+UNAUTHORIZED = "unauthorized: missing or invalid token"
+
+
+def check_token(provided, expected: "str | None") -> bool:
+    """Whether *provided* authenticates against *expected*.
+
+    ``expected=None`` means the daemon runs without authentication and
+    everything passes.  Otherwise the comparison is constant-time
+    (``hmac.compare_digest``) over the UTF-8 bytes, and a missing or
+    non-string *provided* fails without shortcutting.
+    """
+    if expected is None:
+        return True
+    candidate = provided if isinstance(provided, str) else ""
+    return hmac.compare_digest(
+        candidate.encode("utf-8"), expected.encode("utf-8")
+    )
 
 
 def encode(document: dict) -> bytes:
@@ -55,13 +89,16 @@ def error_response(request_id, message: str) -> dict:
     return {"id": request_id, "ok": False, "error": str(message)}
 
 
-def handle_line(service, line: "str | bytes", shutdown=None) -> dict:
+def handle_line(
+    service, line: "str | bytes", shutdown=None, token: "str | None" = None
+) -> dict:
     """Dispatch one protocol line against *service* and return the
     response document.  Never raises: every failure mode — bad JSON, an
     unknown op, a malformed request, a compile-time error — becomes an
     ``ok: false`` response so one poisoned line cannot kill a
     connection.  *shutdown* is called (if given) after a ``shutdown``
-    op is acknowledged.
+    op is acknowledged.  With *token* set, any line whose ``"token"``
+    field does not match is rejected before its op is looked at.
     """
     try:
         message = json.loads(line)
@@ -70,6 +107,8 @@ def handle_line(service, line: "str | bytes", shutdown=None) -> dict:
     if not isinstance(message, dict):
         return error_response(None, "protocol line must be a JSON object")
     request_id = message.get("id")
+    if not check_token(message.get("token"), token):
+        return error_response(request_id, UNAUTHORIZED)
     op = message.get("op")
     try:
         if op == "compile":
@@ -90,6 +129,14 @@ def handle_line(service, line: "str | bytes", shutdown=None) -> dict:
             return ok_response(
                 request_id, results=[result.to_json() for result in results]
             )
+        if op == "cells":
+            cells = message.get("cells")
+            if not isinstance(cells, list) or not all(
+                isinstance(cell, dict) for cell in cells
+            ):
+                raise ValueError("'cells' needs a 'cells' list of mappings")
+            results, cache = service.evaluate_cells(cells)
+            return ok_response(request_id, results=results, cache=cache)
         if op == "stats":
             return ok_response(request_id, stats=service.stats())
         if op == "health":

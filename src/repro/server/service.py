@@ -26,13 +26,20 @@ into the batch shape the pipeline is fastest at:
   ``Pipeline.compile_many`` result, whatever the batching or coalescing
   did.
 * **Telemetry.**  :meth:`stats` reports service counters (requests,
-  batches, coalesced, errors), the :class:`repro.sched.cache.CacheStats`
-  movement and the PR-4 :data:`repro.graph.index.WORK` counters for the
-  server lifetime, store telemetry, and the worker-pool state — the
-  ``/stats`` endpoint.  Note the cache/work counters are *parent
-  process* counters: with ``jobs > 1`` the schedule computations happen
-  in pool workers, so run the daemon with ``jobs=1`` (the default) when
-  the counters themselves are what you are after.
+  batches, coalesced, errors, routed cell batches), the
+  :class:`repro.sched.cache.CacheStats` movement and the PR-4
+  :data:`repro.graph.index.WORK` counters for the server lifetime,
+  the **aggregated worker-process counters** (``workers`` block — with
+  ``jobs > 1`` the schedule computations happen in pool workers, and
+  this is where their warm-pool hits show up), store telemetry, the
+  worker-pool state, and the metrics recorder's latency/counter digest
+  — the ``/stats`` endpoint.
+* **Metrics.**  Every service owns a
+  :class:`repro.metrics.MetricsRecorder`: per-request latency
+  histograms, batch sizes, coalesced hits and per-batch CacheStats
+  deltas, flushed as time-series rows into SQLite when the recorder has
+  a database (``repro serve --cache-dir`` puts it at
+  ``<cache-dir>/metrics.sqlite``).
 """
 
 from __future__ import annotations
@@ -46,10 +53,11 @@ from concurrent.futures import Future
 from repro import pool as worker_pool_mod
 from repro.api import Pipeline
 from repro.graph.index import WORK
+from repro.metrics import MetricsRecorder
 from repro.sched import store as sched_store
-from repro.sched.cache import STATS, compile_request_key
+from repro.sched.cache import STATS, CacheStats, compile_request_key
 
-STATS_SCHEMA = "repro.server-stats/1"
+STATS_SCHEMA = "repro.server-stats/2"
 HEALTH_SCHEMA = "repro.server-health/1"
 
 
@@ -82,6 +90,10 @@ class CompileService:
         batch_window: seconds the dispatcher waits after the first
             queued request for more to arrive before compiling.
         max_batch: largest group handed to one ``compile_many`` call.
+        metrics: a :class:`repro.metrics.MetricsRecorder` (or a
+            database path for one).  Defaults to a purely in-memory
+            recorder, so the telemetry surface is always present; the
+            service owns the recorder and closes it on :meth:`close`.
         start: start the dispatcher thread immediately.  Tests pass
             ``False`` to stage several duplicate submissions and then
             :meth:`start` the dispatcher, making coalescing assertions
@@ -95,17 +107,25 @@ class CompileService:
         jobs: int = 1,
         batch_window: float = 0.002,
         max_batch: int = 64,
+        metrics: "MetricsRecorder | str | None" = None,
         start: bool = True,
     ) -> None:
         self.pipeline = pipeline if pipeline is not None else Pipeline(cache=cache)
         self.jobs = max(1, int(jobs))
         self.batch_window = batch_window
         self.max_batch = max(1, int(max_batch))
+        if isinstance(metrics, MetricsRecorder):
+            self.metrics = metrics
+        else:  # None → in-memory only; a path → SQLite-backed
+            self.metrics = MetricsRecorder(db=metrics)
         self.started_at = time.time()
         self._lock = threading.Condition()
         # pipeline state (the parsed-DDG cache and its eviction) is not
         # thread-safe; every transport thread parses under this lock
         self._parse_lock = threading.Lock()
+        # engine-cell evaluation mutates process-wide memos; one batch
+        # of routed cells runs at a time
+        self._cells_lock = threading.Lock()
         self._queue: deque[tuple] = deque()
         self._inflight: dict[tuple, _Inflight] = {}
         self._closed = False
@@ -113,11 +133,14 @@ class CompileService:
         # lifetime baselines: /stats reports movement since construction
         self._cache_base = STATS.snapshot()
         self._work_base = WORK.snapshot()
+        self._worker_counters_last: dict[str, int] = {}
         self.requests_total = 0
         self.coalesced_total = 0
         self.batches_total = 0
         self.compiled_total = 0
         self.errors_total = 0
+        self.cells_total = 0
+        self.cell_batches_total = 0
         if self.jobs > 1:
             # warm the shared pool under this pipeline's store so the
             # first batch pays no worker spin-up
@@ -154,6 +177,7 @@ class CompileService:
             self._lock.notify_all()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=30)
+        self.metrics.close()
 
     def __enter__(self) -> "CompileService":
         return self
@@ -192,19 +216,29 @@ class CompileService:
         after :meth:`close`.
         """
         key = self.request_key(request)  # validates; may raise
+        started = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ServiceClosed("compile service is shut down")
             self.requests_total += 1
+            self.metrics.count("requests")
             entry = self._inflight.get(key)
             if entry is not None:
                 self.coalesced_total += 1
-                return entry.future
-            entry = _Inflight(dict(request))
-            self._inflight[key] = entry
-            self._queue.append(key)
-            self._lock.notify_all()
-            return entry.future
+                self.metrics.count("coalesced")
+            else:
+                entry = _Inflight(dict(request))
+                self._inflight[key] = entry
+                self._queue.append(key)
+                self._lock.notify_all()
+        # every submitter observes its own queue-to-result latency,
+        # coalesced or not — that is what a client experienced
+        entry.future.add_done_callback(
+            lambda _future, _started=started: self.metrics.observe(
+                "request", time.perf_counter() - _started
+            )
+        )
+        return entry.future
 
     def compile(self, request: dict, timeout: float | None = None):
         """:meth:`submit` and wait: one service-shaped result."""
@@ -235,9 +269,12 @@ class CompileService:
                 batch = [(key, self._inflight[key]) for key in keys]
             if batch:
                 self._run_batch(batch)
+            self.metrics.maybe_flush()
 
     def _run_batch(self, batch: list[tuple]) -> None:
         requests = [entry.request for _, entry in batch]
+        started = time.perf_counter()
+        cache_before = STATS.snapshot()
         try:
             results = self.pipeline.compile_many(requests, jobs=self.jobs)
         except BaseException as error:  # pool death, store I/O, bugs
@@ -245,6 +282,7 @@ class CompileService:
                 self.errors_total += len(batch)
                 for key, entry in batch:
                     self._inflight.pop(key, None)
+            self.metrics.count("errors", len(batch))
             for _, entry in batch:
                 entry.future.set_exception(error)
             return
@@ -253,8 +291,67 @@ class CompileService:
             self.compiled_total += len(batch)
             for key, _ in batch:
                 self._inflight.pop(key, None)
+        self.metrics.observe("batch", time.perf_counter() - started)
+        self.metrics.count("batches")
+        self.metrics.count("batch_requests", len(batch))
+        self._record_cache_movement(STATS.delta(cache_before))
         for (_, entry), result in zip(batch, results):
             entry.future.set_result(result)
+
+    def _record_cache_movement(self, delta: CacheStats) -> None:
+        """One batch's parent-process CacheStats movement, as
+        time-series counters (``cache_schedule_hits``-style names)."""
+        self.metrics.count_many({
+            f"cache_{name}": value
+            for name, value in delta.as_dict().items()
+        })
+
+    # ------------------------------------------------------------------
+    # routed experiment-engine cells (``repro sweep --connect``)
+    def evaluate_cells(self, cell_documents: list) -> tuple[list, dict]:
+        """Evaluate a batch of experiment-engine cells (wire mappings —
+        see :func:`repro.eval.engine.cell_to_wire`) against this
+        daemon's warm store/memos.
+
+        Returns ``(results, cache)``: one deterministic cell-data dict
+        per input cell, **in input order**, plus the batch's
+        parent-process CacheStats movement.  The data dicts are exactly
+        what a local :func:`repro.eval.engine.evaluate_cell` produces,
+        so a sweep routed through a cluster is byte-identical to a
+        local one.  One cell batch runs at a time (cell evaluation
+        shares the process-wide memos).
+        """
+        from repro.eval.engine import (
+            cell_from_wire,
+            routed_through,
+            run_cells,
+        )
+
+        cells = [cell_from_wire(document) for document in cell_documents]
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("compile service is shut down")
+            self.cells_total += len(cells)
+            self.cell_batches_total += 1
+            self.metrics.count("cells", len(cells))
+            self.metrics.count("cell_batches")
+        started = time.perf_counter()
+        context = (
+            sched_store.using(self.pipeline.cache)
+            if self.pipeline.cache is not None
+            else contextlib.nullcontext()
+        )
+        # routed_through(None): this is the shard end of the routing —
+        # cells must evaluate HERE even when this process also holds a
+        # ClusterClient context (in-process daemons in tests)
+        with self._cells_lock, context, routed_through(None):
+            cache_before = STATS.snapshot()
+            run = run_cells(cells, jobs=self.jobs)
+            delta = STATS.delta(cache_before)
+        self.metrics.observe("cells_batch", time.perf_counter() - started)
+        self._record_cache_movement(delta)
+        by_cell = {result.cell: result.data for result in run.results}
+        return [by_cell[cell] for cell in cells], delta.as_dict()
 
     # ------------------------------------------------------------------
     # telemetry
@@ -275,7 +372,9 @@ class CompileService:
 
     def stats(self) -> dict:
         """The ``/stats`` document: service counters, cache/work counter
-        movement since the service started, store and pool telemetry."""
+        movement since the service started (parent process **and** the
+        aggregated pool workers), store/pool telemetry and the metrics
+        digest."""
         store = self.pipeline.cache
         if store is None:
             store = sched_store.active_store()
@@ -286,16 +385,45 @@ class CompileService:
                 "batches": self.batches_total,
                 "compiled": self.compiled_total,
                 "errors": self.errors_total,
+                "cells": self.cells_total,
+                "cell_batches": self.cell_batches_total,
                 "queued": len(self._queue),
                 "inflight": len(self._inflight),
             }
+        workers = self._aggregate_workers()
+        cache = STATS.delta(self._cache_base).as_dict()
+        cache_total = dict(cache)
+        for name, value in workers["cache"].items():
+            cache_total[name] = cache_total.get(name, 0) + value
+        self.metrics.maybe_flush()
         return {
             "schema": STATS_SCHEMA,
             "uptime_seconds": time.time() - self.started_at,
             "jobs": self.jobs,
             "service": counters,
-            "cache": STATS.delta(self._cache_base).as_dict(),
+            "cache": cache,
+            "workers": workers,
+            "cache_total": cache_total,
             "work": WORK.delta(self._work_base).as_dict(),
             "store": store.stats() if store is not None else None,
             "pool": worker_pool_mod.pool_stats(),
+            "metrics": self.metrics.summary(),
         }
+
+    def _aggregate_workers(self) -> dict:
+        """The pool workers' summed cache/work counters (only probed
+        when this service actually fans out, i.e. ``jobs > 1``).  The
+        movement since the last probe is also fed into the metrics
+        recorder (``worker_cache_*`` time series), so warm-pool hits
+        reach the persistent layer too."""
+        if self.jobs <= 1:
+            return {"processes": 0, "cache": {}, "work": {}}
+        workers = worker_pool_mod.worker_stats()
+        movement = {}
+        for name, value in workers["cache"].items():
+            delta = value - self._worker_counters_last.get(name, 0)
+            if delta > 0:
+                movement[f"worker_cache_{name}"] = delta
+            self._worker_counters_last[name] = value
+        self.metrics.count_many(movement)
+        return workers

@@ -225,7 +225,7 @@ class TestProtocol:
         health = handle_line(service, '{"op": "health", "id": 1}')
         assert health["health"]["status"] == "ok"
         stats = handle_line(service, '{"op": "stats", "id": 2}')
-        assert stats["stats"]["schema"] == "repro.server-stats/1"
+        assert stats["stats"]["schema"] == "repro.server-stats/2"
 
     def test_stdio_transport(self, service):
         import io
@@ -334,7 +334,7 @@ class TestHTTPDaemon:
                 r.to_json_text() for r in client.compile_many(REQUEST_SET)
             ] == expected
             stats = client.stats()
-            assert stats["schema"] == "repro.server-stats/1"
+            assert stats["schema"] == "repro.server-stats/2"
 
     def test_http_error_codes(self, http_daemon):
         import urllib.error
