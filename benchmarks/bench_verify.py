@@ -1,0 +1,60 @@
+"""Oracle overhead: compile-only vs compile+verify.
+
+``compile_loop(..., verify=True)`` re-derives every invariant — slack
+per edge, an exact modulo unit assignment, lifetime patterns and a
+clean-room re-allocation — so it cannot be free.  This benchmark pins
+the cost down on the random suite and asserts the oracle stays a small
+multiple of compilation itself (it shares none of the compiler's
+caches, so the ratio is the honest price of ``--verify`` on a sweep).
+"""
+
+import time
+
+from repro.api import compile_loop
+from repro.verify import verify_result
+from repro.workloads import random_suite
+
+COMBOS = [
+    ("hrms", "combined", 32),
+    ("swing", "spill", 16),
+    ("ims", "increase", 32),
+]
+
+
+def _population():
+    return [w.ddg for w in random_suite(size=12, seed=1996)]
+
+
+def test_oracle_overhead(record):
+    loops = _population()
+    results = []
+    compile_seconds = 0.0
+    for ddg in loops:
+        for scheduler, strategy, registers in COMBOS:
+            start = time.perf_counter()
+            result = compile_loop(
+                ddg.copy(), machine="P2L4", scheduler=scheduler,
+                strategy=strategy, registers=registers,
+            )
+            compile_seconds += time.perf_counter() - start
+            results.append(result)
+
+    verify_seconds = 0.0
+    for result in results:
+        start = time.perf_counter()
+        oracle = verify_result(result)
+        verify_seconds += time.perf_counter() - start
+        assert oracle.ok, oracle.render()
+
+    per_verify = verify_seconds / len(results)
+    ratio = verify_seconds / max(compile_seconds, 1e-9)
+    text = (
+        f"oracle overhead over {len(results)} results:\n"
+        f"  compile: {compile_seconds * 1000:8.1f} ms total\n"
+        f"  verify:  {verify_seconds * 1000:8.1f} ms total"
+        f" ({per_verify * 1e6:.0f} us/result)\n"
+        f"  ratio:   x{ratio:.2f} (verify/compile)"
+    )
+    record("verify_overhead", text)
+    # the oracle must stay cheap enough to leave on for whole sweeps
+    assert ratio < 5.0, text

@@ -96,6 +96,11 @@ class CompilationResult:
     alloc_probes: int = 0          #: rotating-file occupancy probes
     wall_seconds: float = 0.0
     details: dict = field(default_factory=dict)
+    #: ``None`` = the oracle did not run; ``True`` = every invariant
+    #: re-derived by :mod:`repro.verify` held (``verify=True`` raises
+    #: :class:`~repro.verify.VerificationError` instead of storing
+    #: ``False``, so a surviving result is never silently invalid).
+    verified: bool | None = None
     schedule: Schedule | None = field(
         default=None, repr=False, compare=False
     )
@@ -155,6 +160,7 @@ class CompilationResult:
             "alloc_probes": self.alloc_probes,
             "wall_seconds": self.wall_seconds,
             "details": dict(self.details),
+            "verified": self.verified,
         }
 
     def to_json_text(self) -> str:
@@ -194,6 +200,7 @@ class CompilationResult:
             alloc_probes=document.get("alloc_probes", 0),
             wall_seconds=document["wall_seconds"],
             details=dict(document["details"]),
+            verified=document.get("verified"),
         )
 
 
@@ -216,6 +223,7 @@ def _run(
     strategy_name: str,
     registers: int | None,
     options: dict | None,
+    verify: bool = False,
 ) -> CompilationResult:
     strategy = get_strategy(strategy_name)
     started = time.perf_counter()
@@ -231,7 +239,7 @@ def _run(
         scheduler_label = canonical_name(scheduler)
     except ValueError:
         scheduler_label = scheduler.name
-    return CompilationResult(
+    result = CompilationResult(
         converged=outcome.converged,
         reason=outcome.reason,
         loop=ddg.name,
@@ -264,6 +272,14 @@ def _run(
         report=outcome.report,
         ddg=outcome.ddg,
     )
+    if verify:
+        from repro.verify import VerificationError, verify_result
+
+        oracle = verify_result(result)
+        if not oracle.ok:
+            raise VerificationError(ddg.name, oracle)
+        result.verified = True
+    return result
 
 
 def compile_loop(
@@ -275,6 +291,7 @@ def compile_loop(
     options: dict | None = None,
     name: str = "loop",
     cache: "sched_store.ScheduleStore | str | None" = None,
+    verify: bool = False,
 ) -> CompilationResult:
     """Compile one loop under a register budget and return the unified
     :class:`CompilationResult`.
@@ -297,6 +314,10 @@ def compile_loop(
             :class:`~repro.sched.store.ScheduleStore`) activated for
             this call — schedules computed here are reused by any later
             process pointed at the same directory.
+        verify: run the independent :mod:`repro.verify` oracle on the
+            result; an invalid schedule raises
+            :class:`~repro.verify.VerificationError` and a surviving
+            result carries ``verified=True``.
 
     Raises :class:`ValueError` for unknown machine, scheduler, strategy
     or option names.
@@ -309,6 +330,7 @@ def compile_loop(
             strategy,
             registers,
             options,
+            verify=verify,
         )
 
 
@@ -352,6 +374,7 @@ class Pipeline:
         registers: int | None = 32,
         options: dict | None = None,
         cache: "sched_store.ScheduleStore | str | None" = None,
+        verify: bool = False,
     ) -> None:
         self.machine = resolve_machine(machine)
         self.scheduler = create_scheduler(scheduler)
@@ -360,6 +383,7 @@ class Pipeline:
         self.registers = registers
         self.options = dict(options or {})
         self.cache = sched_store.resolve_store(cache)
+        self.verify = verify
         self._ddg_cache: dict[tuple[str, str], DDG] = {}
 
     def ddg(self, source_or_ddg: str | DDG, name: str = "loop") -> DDG:
@@ -384,6 +408,7 @@ class Pipeline:
         strategy: str | None = None,
         registers: "int | None | object" = _UNSET,
         options: dict | None = None,
+        verify: bool | None = None,
     ) -> CompilationResult:
         """Compile one loop with this pipeline's defaults, overriding
         any argument per call (``registers=None`` means unconstrained)."""
@@ -396,6 +421,7 @@ class Pipeline:
                 self.strategy if strategy is None else strategy,
                 self.registers if registers is _UNSET else registers,
                 self.options if options is None else options,
+                verify=self.verify if verify is None else verify,
             )
 
     # ------------------------------------------------------------------
@@ -460,6 +486,12 @@ class Pipeline:
         persistent store (or the process-wide active one).
         """
         normalized = [self.normalize_request(r) for r in requests]
+        if self.verify:
+            # a Pipeline-level switch, not a request key: the request
+            # mapping (and the server's coalescing key derived from it)
+            # stays byte-identical whether or not the oracle runs
+            for request in normalized:
+                request["verify"] = True
         if jobs <= 1 or len(normalized) <= 1:
             # The store context must not be held across a yield: this
             # is a generator, and a suspended (or abandoned) stream
@@ -536,6 +568,7 @@ def _service_compile(request: dict) -> CompilationResult:
         request["strategy"],
         request["registers"],
         request["options"],
+        verify=request.get("verify", False),
     )
     # The batch contract is determinism (jobs=1 == jobs=N, run-to-run
     # byte-identical JSON), so per-request wall clock is dropped along

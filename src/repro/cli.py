@@ -31,6 +31,16 @@ Subcommands:
   machines × budgets × heuristic variants × ``--scheduler``, rendered
   tables on stdout and machine-readable JSON via ``--json-out``
   (deterministic for any ``--jobs`` value);
+* ``fuzz`` — differential fuzzing: every iteration draws one random
+  loop from a derived seed, compiles it through every scheduler ×
+  strategy, and re-checks each result with the independent
+  :mod:`repro.verify` oracle; failures are greedily shrunk and written
+  as replayable reproducer documents (``--corpus DIR``, replayed with
+  ``--replay PATH``); ``--self-check`` dry-runs the shrinker (CI gate);
+* ``robust`` — perturbation robustness for one loop: N seeded
+  compilations under latency/unit-count/dependence-distance jitter
+  (:mod:`repro.robust`), reporting II degradation, schedule stability
+  and oracle-pass statistics;
 * ``cache`` — operator hygiene for a shared persistent store
   (``repro cache stats`` / ``clear`` / ``prune --max-bytes N``, with
   ``prune --dry-run`` to preview evictions) without writing any Python;
@@ -154,9 +164,16 @@ def _cmd_compile(args) -> int:
             options=options,
             name=args.name,
             cache=_cache_from(args),
+            verify=args.verify,
         )
     except ValueError as error:
         raise SystemExit(f"repro compile: {error}")
+    except Exception as error:
+        from repro.verify import VerificationError
+
+        if isinstance(error, VerificationError):
+            raise SystemExit(f"repro compile: {error}")
+        raise
 
     if result.schedule is None:
         print(f"FAILED: {result.reason}")
@@ -209,6 +226,15 @@ def _compile_connected(args, options: dict) -> int:
             )
     except (OSError, ClientError, ValueError) as error:
         raise SystemExit(f"repro compile: --connect {args.connect}: {error}")
+    if args.verify:
+        # served results carry no artifacts, so the oracle recompiles
+        # locally and cross-checks the daemon's scalars against it
+        from repro.verify import verify_result
+
+        oracle = verify_result(result, loop=_source_from(args))
+        if not oracle.ok:
+            print(oracle.render())
+            return 1
     # mirror the local path: "FAILED" when no schedule exists at all
     # (ii is None), the render() verdict line otherwise
     if result.ii is None:
@@ -343,6 +369,7 @@ def _cmd_sweep(args) -> int:
             cache_dir=None if cluster is not None else _cache_from(args),
             suite_filter=args.suite_filter,
             cluster=cluster,
+            verify=args.verify,
         )
     except ValueError as error:
         raise SystemExit(f"repro sweep: {error}")
@@ -364,6 +391,97 @@ def _cmd_sweep(args) -> int:
             handle.write("\n")
         print(f"[json written to {args.json_out}]")
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.robust.fuzz import (
+        FuzzConfig,
+        replay_reproducer,
+        run_fuzz,
+        shrinker_self_check,
+    )
+    from repro.workloads import RandomDDGParams
+
+    if args.replay:
+        problems = replay_reproducer(args.replay)
+        if problems:
+            print(f"reproduces ({len(problems)} violation(s)):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("no longer reproduces")
+        return 0
+    if args.self_check:
+        outcome = shrinker_self_check(args.seed)
+        print(
+            f"shrinker self-check: {outcome['start_ops']} ops ->"
+            f" {outcome['shrunk_ops']} ops"
+            f" ({outcome['shrunk_source']!r})"
+        )
+        if outcome["shrunk_ops"] > 8:
+            print("FAILED: shrinker left more than 8 operations")
+            return 1
+        return 0
+    params = RandomDDGParams(
+        ops=args.ops,
+        recurrence_density=args.recurrence_density,
+        load_mix=args.load_mix,
+        store_mix=args.store_mix,
+    )
+    try:
+        params.validate()
+        config = FuzzConfig(
+            iterations=args.iterations,
+            seed=args.seed,
+            machines=tuple(args.machines),
+            schedulers=tuple(args.schedulers),
+            strategies=tuple(args.strategies),
+            registers=tuple(args.registers),
+            params=params,
+            shrink=not args.no_shrink,
+        )
+        report = run_fuzz(config, corpus_dir=args.corpus, log=print)
+    except ValueError as error:
+        raise SystemExit(f"repro fuzz: {error}")
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json_text())
+            handle.write("\n")
+        print(f"[json written to {args.json_out}]")
+    return 0 if report.ok else 1
+
+
+def _cmd_robust(args) -> int:
+    from repro.robust import PerturbSpec, run_robustness
+
+    try:
+        spec = PerturbSpec(
+            latency=args.jitter_latency,
+            units=args.jitter_units,
+            distance=args.jitter_distance,
+            rate=args.jitter_rate,
+        )
+        report = run_robustness(
+            _source_from(args),
+            machine=_machine_from(args),
+            scheduler=args.scheduler,
+            strategy=args.method,
+            registers=args.registers,
+            spec=spec,
+            runs=args.runs,
+            seed=args.seed,
+            name=args.name,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro robust: {error}")
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json_text())
+            handle.write("\n")
+        print(f"[json written to {args.json_out}]")
+    return 0 if report.oracle_passes == len(report.rows) else 1
 
 
 def _cmd_cache(args) -> int:
@@ -626,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--show", nargs="*", choices=_SHOW_CHOICES, metavar="SECTION",
         help=f"artifacts to print: {', '.join(_SHOW_CHOICES)}",
     )
+    compile_parser.add_argument(
+        "--verify", action="store_true",
+        help="re-derive every scheduling invariant with the independent"
+        " repro.verify oracle (with --connect: recompile locally and"
+        " cross-check the daemon's answer)",
+    )
     compile_parser.set_defaults(func=_cmd_compile)
 
     mii_parser = sub.add_parser("mii", help="print the loop's MII bounds")
@@ -731,7 +855,136 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared authentication token for --connect daemons"
         " (default: $REPRO_TOKEN)",
     )
+    sweep_parser.add_argument(
+        "--verify", action="store_true",
+        help="run the independent repro.verify oracle on every schedule"
+        " the sweep produces (output bytes unchanged; an invalid"
+        " schedule aborts the run)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz random loops through every scheduler x"
+        " strategy, oracle-checking each result",
+    )
+    fuzz_parser.add_argument(
+        "--iterations", "-n", type=int, default=100, metavar="N",
+        help="random loops to generate (each compiles through every"
+        " scheduler x strategy; default 100)",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; iteration i draws from derive_seed(seed, i)"
+        " so any failure replays in isolation (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--machines", nargs="+", metavar="SPEC",
+        default=["P2L4", "P1L4"],
+        help=f"machines cycled across iterations: {' '.join(machine_names())}"
+        " or generic:UNITS:LATENCY (default: P2L4 P1L4)",
+    )
+    fuzz_parser.add_argument(
+        "--schedulers", nargs="+", metavar="NAME",
+        choices=tuple(scheduler_names()), default=list(scheduler_names()),
+        help="schedulers to cross (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--strategies", nargs="+", metavar="NAME",
+        choices=tuple(strategy_names()), default=list(strategy_names()),
+        help="register strategies to cross (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--registers", nargs="+", type=int, default=[16, 32], metavar="N",
+        help="register budgets cycled across iterations (default: 16 32)",
+    )
+    fuzz_parser.add_argument(
+        "--ops", type=int, default=12,
+        help="statement-op budget per random loop",
+    )
+    fuzz_parser.add_argument(
+        "--recurrence-density", type=float, default=0.15,
+        help="probability a statement closes a recurrence",
+    )
+    fuzz_parser.add_argument(
+        "--load-mix", type=float, default=0.55,
+        help="probability an expression leaf is a load",
+    )
+    fuzz_parser.add_argument(
+        "--store-mix", type=float, default=0.3,
+        help="probability a statement stores to memory",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="write each shrunk failure as a replayable reproducer"
+        " document into this directory",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing loops at full size (faster triage loop)",
+    )
+    fuzz_parser.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="re-run one reproducer document from a --corpus directory"
+        " instead of fuzzing",
+    )
+    fuzz_parser.add_argument(
+        "--self-check", action="store_true",
+        help="dry-run the shrinker on an injected failure and assert it"
+        " minimizes to <= 8 operations (the CI gate)",
+    )
+    fuzz_parser.add_argument(
+        "--json-out", metavar="PATH",
+        help="write the campaign report (schema repro.fuzz/1)",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    robust_parser = sub.add_parser(
+        "robust",
+        help="perturbation-robustness statistics for one loop (seeded"
+        " latency/unit/distance jitter, every run oracle-checked)",
+    )
+    _add_loop_arguments(robust_parser)
+    robust_parser.add_argument("--name", default="loop")
+    robust_parser.add_argument(
+        "--scheduler", choices=tuple(scheduler_names()), default="hrms"
+    )
+    robust_parser.add_argument(
+        "--method", choices=tuple(strategy_names()), default="combined",
+        help="register-pressure strategy (default combined)",
+    )
+    robust_parser.add_argument("--registers", type=int, default=32)
+    robust_parser.add_argument(
+        "--runs", type=int, default=20, metavar="N",
+        help="perturbed compilations to measure (default 20)",
+    )
+    robust_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="harness seed; run i jitters with derive_seed(seed, i)",
+    )
+    robust_parser.add_argument(
+        "--jitter-latency", type=int, default=1, metavar="CYCLES",
+        help="max absolute latency jitter per opcode (default 1)",
+    )
+    robust_parser.add_argument(
+        "--jitter-units", type=int, default=1, metavar="COUNT",
+        help="max absolute unit-count jitter per FU class (default 1)",
+    )
+    robust_parser.add_argument(
+        "--jitter-distance", type=int, default=0, metavar="ITERS",
+        help="max absolute jitter of loop-carried dependence distances"
+        " (default 0 = distances untouched)",
+    )
+    robust_parser.add_argument(
+        "--jitter-rate", type=float, default=0.5, metavar="P",
+        help="per-item probability a latency/count/edge is jittered"
+        " (default 0.5)",
+    )
+    robust_parser.add_argument(
+        "--json-out", metavar="PATH",
+        help="write the robustness report (schema repro.robust/1)",
+    )
+    robust_parser.set_defaults(func=_cmd_robust)
 
     cache_parser = sub.add_parser(
         "cache",

@@ -131,6 +131,11 @@ class Cell:
     variant: str = ""
     scheduler: str = "hrms"
     options: tuple[tuple[str, object], ...] = ()
+    #: run the repro.verify oracle on every schedule this cell produces
+    #: (an invalid one raises VerificationError and aborts the sweep);
+    #: deliberately not part of sort_key or as_json — verification can
+    #: only kill a run, never change its bytes
+    verify: bool = False
 
     def sort_key(self) -> tuple:
         return (
@@ -203,6 +208,7 @@ def cell_to_wire(cell: Cell) -> dict:
         "variant": cell.variant,
         "scheduler": cell.scheduler,
         "options": [[key, value] for key, value in cell.options],
+        "verify": cell.verify,
     }
 
 
@@ -220,6 +226,7 @@ def cell_from_wire(document: dict) -> Cell:
         variant=str(document.get("variant", "")),
         scheduler=str(document.get("scheduler", "hrms")),
         options=tuple((str(key), value) for key, value in options),
+        verify=bool(document.get("verify", False)),
     )
 
 
@@ -240,13 +247,21 @@ def _cell_ddg(cell: Cell) -> DDG:
 
 
 def _ideal_outcome(
-    ddg: DDG, machine: MachineConfig, scheduler: ModuloScheduler
+    ddg: DDG, machine: MachineConfig, scheduler: ModuloScheduler,
+    verify: bool = False,
 ) -> tuple[Schedule, int]:
     """Infinite-register schedule + register demand.  Both legs are
     memoized: the schedule in the process-wide memo, the register report
     on the schedule instance itself."""
     schedule = schedule_memo().schedule(scheduler, ddg, machine)
-    return schedule, register_requirements(schedule).total
+    report = register_requirements(schedule)
+    if verify:
+        from repro.verify import VerificationError, verify_schedule
+
+        oracle = verify_schedule(schedule, report=report)
+        if not oracle.ok:
+            raise VerificationError(ddg.name, oracle)
+    return schedule, report.total
 
 
 def _cell_compile(cell: Cell, strategy: str, options: dict | None = None):
@@ -263,6 +278,7 @@ def _cell_compile(cell: Cell, strategy: str, options: dict | None = None):
         strategy=strategy,
         registers=cell.budget,
         options=options,
+        verify=cell.verify,
     )
 
 
@@ -293,7 +309,7 @@ def _cell_context(cell: Cell):
 
 def _eval_ideal(cell: Cell) -> dict:
     ddg, machine, scheduler = _cell_context(cell)
-    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler, verify=cell.verify)
     return {
         "ii": schedule.ii,
         "stage_count": schedule.stage_count,
@@ -305,7 +321,7 @@ def _eval_ideal(cell: Cell) -> dict:
 
 def _eval_table1(cell: Cell) -> dict:
     ddg, machine, scheduler = _cell_context(cell)
-    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler, verify=cell.verify)
     data = {
         "ideal_cycles": executed_cycles(schedule, cell.weight),
         "ideal_registers": registers,
@@ -362,7 +378,7 @@ def _eval_fig7(cell: Cell) -> dict:
 
 def _eval_fig8(cell: Cell) -> dict:
     ddg, machine, scheduler = _cell_context(cell)
-    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler, verify=cell.verify)
     ideal_cycles = executed_cycles(schedule, cell.weight)
     ideal_traffic = memory_traffic(ddg, cell.weight)
     data = {
@@ -394,7 +410,7 @@ def _eval_fig8(cell: Cell) -> dict:
 
 def _eval_fig9(cell: Cell) -> dict:
     ddg, machine, scheduler = _cell_context(cell)
-    schedule, registers = _ideal_outcome(ddg, machine, scheduler)
+    schedule, registers = _ideal_outcome(ddg, machine, scheduler, verify=cell.verify)
     data = {
         "included": False,
         "ideal_cycles": 0,
@@ -482,6 +498,27 @@ _worker_pool = worker_pool
 # routes without signature changes.
 _ACTIVE_CLUSTER = None
 
+# When set (via verified_cells / run_sweep(verify=True)), run_cells
+# stamps verify=True onto every cell before evaluation — same
+# no-signature-changes trick as _ACTIVE_CLUSTER, and the stamp rides the
+# cell through pickling (pool workers) and the wire (cluster shards).
+_VERIFY_CELLS = False
+
+
+@contextlib.contextmanager
+def verified_cells():
+    """Oracle-check every schedule produced by :func:`run_cells` calls
+    inside the block (``repro sweep --verify``).  Output bytes are
+    unchanged — an invalid schedule raises
+    :class:`repro.verify.VerificationError` instead."""
+    global _VERIFY_CELLS
+    previous = _VERIFY_CELLS
+    _VERIFY_CELLS = True
+    try:
+        yield
+    finally:
+        _VERIFY_CELLS = previous
+
 
 @contextlib.contextmanager
 def routed_through(cluster):
@@ -505,6 +542,10 @@ def run_cells(cells: list[Cell], jobs: int = 1) -> EngineRun:
     from repro.sched.cache import caching_enabled
 
     ordered = sorted(cells, key=Cell.sort_key)
+    if _VERIFY_CELLS:
+        from dataclasses import replace
+
+        ordered = [replace(cell, verify=True) for cell in ordered]
     started = time.perf_counter()
     if _ACTIVE_CLUSTER is not None and ordered:
         results, cache = _ACTIVE_CLUSTER.run_cells(ordered)
@@ -703,6 +744,7 @@ def run_sweep(
     cache_dir: "str | sched_store.ScheduleStore | None" = None,
     suite_filter: "str | list[str] | None" = None,
     cluster=None,
+    verify: bool = False,
 ) -> SweepReport:
     """Regenerate the requested paper artifacts in one engine pass.
 
@@ -727,7 +769,7 @@ def run_sweep(
                 suite=suite, machines=machines, budgets=budgets,
                 artifacts=artifacts, jobs=jobs, scheduler=scheduler,
                 suite_info=suite_info, suite_filter=suite_filter,
-                cluster=cluster,
+                cluster=cluster, verify=verify,
             )
     if cluster is not None:
         if isinstance(cluster, (str, list, tuple)):
@@ -739,13 +781,14 @@ def run_sweep(
                         suite=suite, machines=machines, budgets=budgets,
                         artifacts=artifacts, jobs=jobs,
                         scheduler=scheduler, suite_info=suite_info,
-                        suite_filter=suite_filter,
+                        suite_filter=suite_filter, verify=verify,
                     )
         with routed_through(cluster):
             return run_sweep(
                 suite=suite, machines=machines, budgets=budgets,
                 artifacts=artifacts, jobs=jobs, scheduler=scheduler,
                 suite_info=suite_info, suite_filter=suite_filter,
+                verify=verify,
             )
     from repro.eval import experiments
     from repro.machine.machine import paper_configurations
@@ -796,14 +839,16 @@ def run_sweep(
     produced = {}
     results: list[CellResult] = []
     cache = CacheStats()
-    for sched, label in zip(schedulers, scheduler_labels):
-        runners = runners_for(sched)
-        for name in artifacts:
-            result = runners[name]()
-            produced[f"{name}@{label}" if multi else name] = result
-            run = result.engine_run
-            results.extend(run.results)
-            cache.add(run.cache)
+    verify_context = verified_cells() if verify else contextlib.nullcontext()
+    with verify_context:
+        for sched, label in zip(schedulers, scheduler_labels):
+            runners = runners_for(sched)
+            for name in artifacts:
+                result = runners[name]()
+                produced[f"{name}@{label}" if multi else name] = result
+                run = result.engine_run
+                results.extend(run.results)
+                cache.add(run.cache)
     engine_run = EngineRun(
         results=results,
         jobs=jobs,

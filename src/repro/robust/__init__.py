@@ -1,0 +1,36 @@
+"""Perturbation robustness + differential fuzzing, on top of the
+:mod:`repro.verify` oracle.
+
+:mod:`repro.robust.perturb` jitters the *inputs* of a compilation —
+opcode latencies, functional-unit counts, dependence distances — under a
+seeded RNG; :mod:`repro.robust.harness` runs N such perturbed
+compilations and reports II degradation, schedule stability and
+oracle-pass statistics; :mod:`repro.robust.fuzz` drives
+:func:`~repro.workloads.synthetic.random_loop_spec` through every
+scheduler × strategy with ``verify=True``, shrinks any failure to a
+minimal loop, and writes it to a replayable reproducer corpus
+(``repro fuzz`` / ``repro robust`` on the CLI).
+"""
+
+from repro.robust.fuzz import (
+    FuzzConfig,
+    FuzzReport,
+    replay_reproducer,
+    run_fuzz,
+    shrink_source,
+)
+from repro.robust.harness import RobustnessReport, run_robustness
+from repro.robust.perturb import PerturbSpec, perturb_ddg, perturb_machine
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "PerturbSpec",
+    "RobustnessReport",
+    "perturb_ddg",
+    "perturb_machine",
+    "replay_reproducer",
+    "run_fuzz",
+    "run_robustness",
+    "shrink_source",
+]

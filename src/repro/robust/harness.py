@@ -1,0 +1,191 @@
+"""N-run perturbation robustness statistics (ROADMAP's "adaptation
+harness": jitter latencies/resource counts, measure II degradation and
+schedule stability with N-run statistics, every run checked by the
+independent oracle)."""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.api import compile_loop
+from repro.graph.builder import ddg_from_source
+from repro.graph.ddg import DDG
+from repro.machine.specs import machine_label, resolve_machine
+from repro.robust.perturb import PerturbSpec, perturb_ddg, perturb_machine
+from repro.verify import verify_result
+from repro.workloads.synthetic import derive_seed
+
+JSON_SCHEMA = "repro.robust/1"
+
+
+@dataclass
+class RobustnessReport:
+    """What N perturbed compilations of one loop did."""
+
+    loop: str
+    machine: str
+    scheduler: str
+    strategy: str
+    registers: int | None
+    seed: int
+    runs: int
+    spec: dict
+    baseline_ii: int | None
+    baseline_converged: bool
+    rows: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    @property
+    def converged_runs(self) -> int:
+        return sum(1 for row in self.rows if row["converged"])
+
+    @property
+    def oracle_passes(self) -> int:
+        return sum(1 for row in self.rows if row["oracle_ok"])
+
+    @property
+    def stable_runs(self) -> int:
+        """Runs whose final II equals the unperturbed baseline's."""
+        return sum(
+            1 for row in self.rows
+            if row["converged"] and row["ii"] == self.baseline_ii
+        )
+
+    @property
+    def ii_degradation(self) -> dict:
+        """Mean/max final II relative to the baseline II, over the
+        converged perturbed runs."""
+        if not self.baseline_converged or self.baseline_ii in (None, 0):
+            return {"mean": None, "max": None}
+        ratios = [
+            row["ii"] / self.baseline_ii
+            for row in self.rows
+            if row["converged"] and row["ii"] is not None
+        ]
+        if not ratios:
+            return {"mean": None, "max": None}
+        return {
+            "mean": round(sum(ratios) / len(ratios), 4),
+            "max": round(max(ratios), 4),
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "schema": JSON_SCHEMA,
+            "loop": self.loop,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "strategy": self.strategy,
+            "registers": self.registers,
+            "seed": self.seed,
+            "runs": self.runs,
+            "spec": dict(self.spec),
+            "baseline": {
+                "ii": self.baseline_ii,
+                "converged": self.baseline_converged,
+            },
+            "stats": {
+                "converged": self.converged_runs,
+                "oracle_passes": self.oracle_passes,
+                "stable": self.stable_runs,
+                "ii_degradation": self.ii_degradation,
+            },
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        degradation = self.ii_degradation
+        lines = [
+            f"{self.loop} on {self.machine}"
+            f" ({self.scheduler}, {self.strategy},"
+            f" registers={self.registers}):"
+            f" baseline II={self.baseline_ii}"
+            + ("" if self.baseline_converged else " (did not converge)"),
+            f"  {self.runs} perturbed runs, seed {self.seed}:"
+            f" {self.converged_runs} converged,"
+            f" {self.oracle_passes} oracle-clean,"
+            f" {self.stable_runs} II-stable",
+        ]
+        if degradation["mean"] is not None:
+            lines.append(
+                f"  II degradation: mean x{degradation['mean']},"
+                f" worst x{degradation['max']}"
+            )
+        failures = [row for row in self.rows if not row["oracle_ok"]]
+        for row in failures[:5]:
+            lines.append(
+                f"  ORACLE FAILURE at run {row['run']}"
+                f" (seed {row['seed']}): {'; '.join(row['violations'])}"
+            )
+        return "\n".join(lines)
+
+
+def run_robustness(
+    loop: "str | DDG",
+    machine="P2L4",
+    scheduler: str = "hrms",
+    strategy: str = "combined",
+    registers: int | None = 32,
+    spec: PerturbSpec | None = None,
+    runs: int = 20,
+    seed: int = 0,
+    name: str = "loop",
+) -> RobustnessReport:
+    """Compile *loop* once unperturbed, then *runs* times under seeded
+    input jitter, verifying every produced schedule with the
+    :mod:`repro.verify` oracle.  Run ``i`` uses
+    ``derive_seed(seed, i)``, so any single run is replayable."""
+    spec = spec or PerturbSpec()
+    spec.validate()
+    base_machine = resolve_machine(machine)
+    base_ddg = (
+        loop if isinstance(loop, DDG) else ddg_from_source(loop, name=name)
+    )
+    baseline = compile_loop(
+        base_ddg, machine=base_machine, scheduler=scheduler,
+        strategy=strategy, registers=registers,
+    )
+    report = RobustnessReport(
+        loop=base_ddg.name,
+        machine=machine_label(base_machine),
+        scheduler=scheduler,
+        strategy=strategy,
+        registers=registers,
+        seed=seed,
+        runs=runs,
+        spec={
+            "latency": spec.latency,
+            "units": spec.units,
+            "distance": spec.distance,
+            "rate": spec.rate,
+        },
+        baseline_ii=baseline.ii,
+        baseline_converged=baseline.converged,
+    )
+    for run in range(runs):
+        run_seed = derive_seed(seed, run)
+        rng = random.Random(run_seed)
+        jittered_machine = perturb_machine(base_machine, rng, spec)
+        jittered_ddg = perturb_ddg(base_ddg, rng, spec)
+        result = compile_loop(
+            jittered_ddg, machine=jittered_machine, scheduler=scheduler,
+            strategy=strategy, registers=registers,
+        )
+        oracle = verify_result(result)
+        report.rows.append({
+            "run": run,
+            "seed": run_seed,
+            "converged": result.converged,
+            "ii": result.ii,
+            "mii": result.mii,
+            "registers_used": result.registers_used,
+            "oracle_ok": oracle.ok,
+            "violations": [str(v) for v in oracle.violations],
+        })
+    return report

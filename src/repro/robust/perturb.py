@@ -1,0 +1,94 @@
+"""Seeded input perturbations for the robustness harness.
+
+Perturbations model the question "how brittle is this schedule to the
+machine model being slightly wrong?": latencies move by a few cycles,
+unit counts by ±1, loop-carried dependence distances by ±1.  Every
+perturbed artifact is still a *valid* compilation input (latencies and
+unit counts stay >= 1, distances stay >= 1 on loop-carried edges), so
+the oracle must keep passing — a verification failure under perturbation
+is a compiler bug, not a harness artifact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.graph.ddg import DDG
+from repro.machine.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class PerturbSpec:
+    """Maximum absolute jitter per knob (0 disables that knob).
+
+    ``latency``/``units`` act on the machine, ``distance`` on the graph's
+    loop-carried edges.  ``rate`` is the per-item probability that a
+    given latency/count/edge is touched at all.
+    """
+
+    latency: int = 1
+    units: int = 1
+    distance: int = 0
+    rate: float = 0.5
+
+    def validate(self) -> None:
+        if min(self.latency, self.units, self.distance) < 0:
+            raise ValueError("jitter amounts must be >= 0")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+
+def _jitter(rng: random.Random, value: int, amount: int, rate: float,
+            floor: int) -> int:
+    if amount == 0 or rng.random() >= rate:
+        return value
+    delta = rng.randint(-amount, amount)
+    return max(floor, value + delta)
+
+
+def perturb_machine(
+    machine: MachineConfig, rng: random.Random, spec: PerturbSpec
+) -> MachineConfig:
+    """A jittered copy of *machine* (iteration order is the dataclass
+    dict order, so one RNG stream gives one deterministic machine)."""
+    spec.validate()
+    latencies = {
+        opcode: _jitter(rng, latency, spec.latency, spec.rate, floor=1)
+        for opcode, latency in machine.latencies.items()
+    }
+    fu_counts = {
+        fu_class: _jitter(rng, count, spec.units, spec.rate, floor=1)
+        for fu_class, count in machine.fu_counts.items()
+    }
+    return replace(
+        machine,
+        name=f"{machine.name}~",
+        latencies=latencies,
+        fu_counts=fu_counts,
+    )
+
+
+def perturb_ddg(
+    ddg: DDG, rng: random.Random, spec: PerturbSpec
+) -> DDG:
+    """A copy of *ddg* with loop-carried dependence distances jittered.
+
+    Same-iteration edges (distance 0) are structural — moving them to
+    distance 1 would change which value a consumer reads — so only
+    already-loop-carried edges move, and they stay >= 1.
+    """
+    spec.validate()
+    if spec.distance == 0:
+        return ddg.copy()
+    perturbed = ddg.copy()
+    for edge in perturbed.edges:
+        if edge.distance < 1:
+            continue
+        jittered = _jitter(
+            rng, edge.distance, spec.distance, spec.rate, floor=1
+        )
+        if jittered != edge.distance:
+            perturbed.remove_edge(edge)
+            perturbed.add_edge(replace(edge, distance=jittered))
+    return perturbed

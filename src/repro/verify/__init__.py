@@ -1,0 +1,29 @@
+"""Independent schedule-validity oracle.
+
+Every correctness claim the schedulers make — dependence satisfaction,
+MRT exclusivity, rotating-register feasibility, spill dataflow — is
+re-derived here from first principles, using only a schedule's ``times``
+map, the dependence graph and the machine description.  Nothing in this
+package touches the scheduler bookkeeping it is checking
+(:mod:`repro.graph.index` masks, :mod:`repro.lifetimes.index` arrays,
+:class:`repro.machine.mrt.ModuloReservationTable`), so a bug memoized
+into the cache/store layers cannot vouch for itself.
+"""
+
+from repro.verify.oracle import (
+    VerificationError,
+    VerifyReport,
+    Violation,
+    ViolationKind,
+    verify_result,
+    verify_schedule,
+)
+
+__all__ = [
+    "VerificationError",
+    "VerifyReport",
+    "Violation",
+    "ViolationKind",
+    "verify_result",
+    "verify_schedule",
+]

@@ -1,0 +1,800 @@
+"""From-scratch schedule checker (the validity oracle).
+
+Given a :class:`~repro.sched.schedule.Schedule` (``times`` map, DDG,
+machine, II) and optionally the :class:`~repro.lifetimes.requirements.
+RegisterReport` the compiler claimed, re-derive every modulo-scheduling
+invariant of the paper independently of the scheduler code:
+
+1. **Dependences** — for every edge,
+   ``t(cons) + II*distance - t(prod) >= latency(edge)`` with the latency
+   rule re-stated here (flow: producer latency; anti/output memory
+   dependences: one cycle), and fused zero-distance pairs at their exact
+   offset;
+2. **Resources** — the modulo reservation table is rebuilt from scratch
+   (plain per-cycle occupancy counting plus an exact backtracking unit
+   assignment; none of :mod:`repro.machine.mrt`'s bitmasks are reused):
+   no two operations may occupy the same functional unit in the same
+   kernel cycle, and a non-pipelined operation holds one unit for its
+   full latency;
+3. **Registers** — value lifetimes are re-derived from the ``times`` map
+   and the register flow edges, the per-cycle live count is accumulated
+   by literally counting overlapping iteration instances, its maximum is
+   compared against the reported MaxLive, and the reported rotating-file
+   size is checked feasible by an independently written end-fit
+   placement on a ``R * II``-cell circle (every cell marked at most
+   once);
+4. **Spill dataflow** — every spill store reads the value it spills and
+   feeds a reload of the same home over a memory flow edge; every
+   reload's value reaches a consumer.
+
+Violations are typed (:class:`ViolationKind`) so tests can assert that a
+specific corruption is rejected for the right reason, and the report is
+JSON-safe for the fuzzing corpus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.ddg import DDG, DepKind, EdgeKind
+from repro.machine.machine import MachineConfig
+from repro.sched.schedule import Schedule
+
+JSON_SCHEMA = "repro.verify/1"
+
+#: Cycles charged to anti/output memory dependences (strict ordering) —
+#: restated here rather than imported from repro.graph.analysis, so the
+#: oracle does not inherit a bug in the analysis layer's constant.
+_NON_FLOW_LATENCY = 1
+
+#: Give up on the exhaustive fallback searches past this many explored
+#: states; an inconclusive search becomes a note, never a violation.
+_SEARCH_CAP = 200_000
+
+
+class ViolationKind(enum.Enum):
+    """Why a schedule (or a result claiming one) is invalid."""
+
+    DEPENDENCE = "dependence"        #: edge inequality broken
+    FUSED_OFFSET = "fused_offset"    #: complex operation torn apart
+    RESOURCE = "resource"            #: MRT over-subscription
+    MAXLIVE = "maxlive"              #: reported MaxLive != per-cycle count
+    ALLOCATION = "allocation"        #: reported file size infeasible
+    SPILL_DATAFLOW = "spill_dataflow"  #: spill/reload chain broken
+    RESULT = "result"                #: scalar fields contradict artifacts
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    kind: ViolationKind
+    subject: str
+    message: str
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "Violation":
+        return cls(
+            kind=ViolationKind(document["kind"]),
+            subject=document["subject"],
+            message=document["message"],
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.subject}: {self.message}"
+
+
+@dataclass
+class VerifyReport:
+    """Everything one oracle run established."""
+
+    ok: bool
+    violations: tuple[Violation, ...] = ()
+    checked: dict = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def kinds(self) -> set[ViolationKind]:
+        return {violation.kind for violation in self.violations}
+
+    def to_json(self) -> dict:
+        return {
+            "schema": JSON_SCHEMA,
+            "ok": self.ok,
+            "violations": [v.to_json() for v in self.violations],
+            "checked": dict(self.checked),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "VerifyReport":
+        if document.get("schema") != JSON_SCHEMA:
+            raise ValueError(
+                f"expected schema {JSON_SCHEMA!r},"
+                f" got {document.get('schema')!r}"
+            )
+        return cls(
+            ok=document["ok"],
+            violations=tuple(
+                Violation.from_json(v) for v in document["violations"]
+            ),
+            checked=dict(document["checked"]),
+            notes=tuple(document["notes"]),
+        )
+
+    def render(self) -> str:
+        verdict = "VALID" if self.ok else "INVALID"
+        lines = [
+            f"{verdict}: "
+            + ", ".join(
+                f"{name}={value}" for name, value in sorted(self.checked.items())
+            )
+        ]
+        lines += [f"  {violation}" for violation in self.violations]
+        lines += [f"  note: {note}" for note in self.notes]
+        return "\n".join(lines)
+
+
+class VerificationError(AssertionError):
+    """Raised by callers that treat an invalid schedule as fatal."""
+
+    def __init__(self, subject: str, report: VerifyReport) -> None:
+        super().__init__(f"{subject} failed verification:\n{report.render()}")
+        self.report = report
+
+
+# ======================================================================
+# independent lifetime model
+@dataclass(frozen=True)
+class _Lifetime:
+    """A value's occupancy arc, re-derived from times + flow edges."""
+
+    value: str
+    start: int
+    length: int
+
+
+def _derive_lifetimes(
+    ddg: DDG, machine: MachineConfig, times: dict[str, int], ii: int
+) -> list[_Lifetime]:
+    """Loop-variant lifetimes from first principles: a value is alive
+    from its producer's start to the start of its last consumer, where a
+    consumer at distance ``d`` reads ``d * II`` cycles later than its
+    own-iteration position.  A live-out value nobody reads in-loop is
+    charged its producer's latency (it merely has to be produced)."""
+    lifetimes = []
+    for name, node in ddg.nodes.items():
+        if node.is_store:
+            continue
+        consumer_edges = [
+            e for e in ddg.out_edges(name) if e.kind is EdgeKind.REG
+        ]
+        if not consumer_edges:
+            if name not in ddg.live_out:
+                continue
+            length = machine.latency(node.opcode)
+        else:
+            length = max(
+                times[e.dst] + ii * e.distance for e in consumer_edges
+            ) - times[name]
+        lifetimes.append(_Lifetime(name, times[name], length))
+    return lifetimes
+
+
+def _live_pattern(lifetimes: list[_Lifetime], ii: int) -> list[int]:
+    """Per-kernel-cycle live count by literally counting the overlapping
+    iteration instances of each lifetime (no difference arrays)."""
+    pattern = [0] * ii
+    for lifetime in lifetimes:
+        if lifetime.length <= 0:
+            continue
+        for cycle in range(ii):
+            offset = (cycle - lifetime.start) % ii
+            # one instance per in-flight iteration whose copy of the
+            # value is still alive at this kernel cycle
+            instance = offset
+            while instance < lifetime.length:
+                pattern[cycle] += 1
+                instance += ii
+    return pattern
+
+
+# ======================================================================
+# independent rotating-file placement
+def _place_on_circle(
+    lifetimes: list[_Lifetime], ii: int, registers: int
+) -> dict[str, int] | None:
+    """Find a non-overlapping placement of all arcs on the circle of
+    ``registers * ii`` cells, written from scratch against the Rau et
+    al. description the allocator follows (adjacency order, end-fit):
+    each value may start at ``(start + k*ii) mod circumference`` for
+    ``k in 0..registers-1``; among the collision-free ``k`` pick the one
+    with the fewest free cells immediately behind the arc.  Cells are
+    marked one by one and each marking asserts the cell was free, so a
+    successful return *is* the overlap proof."""
+    if registers < 1:
+        return None if lifetimes else {}
+    circumference = registers * ii
+    orderings = (
+        sorted(lifetimes, key=lambda lt: (lt.start % ii, -lt.length, lt.value)),
+        sorted(lifetimes, key=lambda lt: (-lt.length, lt.start, lt.value)),
+    )
+    for ordered in orderings:
+        cells = bytearray(circumference)
+        placement: dict[str, int] = {}
+        feasible = True
+        for lifetime in ordered:
+            if lifetime.length > circumference:
+                feasible = False
+                break
+            best_slot, best_gap = -1, None
+            for slot in range(registers):
+                start = (lifetime.start + slot * ii) % circumference
+                if any(
+                    cells[(start + c) % circumference]
+                    for c in range(lifetime.length)
+                ):
+                    continue
+                gap = 0
+                probe = (start - 1) % circumference
+                while gap < circumference and not cells[probe]:
+                    gap += 1
+                    probe = (probe - 1) % circumference
+                if best_gap is None or gap < best_gap:
+                    best_slot, best_gap = slot, gap
+                    if gap == 0:
+                        break
+            if best_slot < 0:
+                feasible = False
+                break
+            start = (lifetime.start + best_slot * ii) % circumference
+            for c in range(lifetime.length):
+                cell = (start + c) % circumference
+                assert not cells[cell], "placement overlapped its own arc"
+                cells[cell] = 1
+            placement[lifetime.value] = best_slot
+        if feasible:
+            return placement
+    return None
+
+
+def _place_exhaustive(
+    lifetimes: list[_Lifetime], ii: int, registers: int
+) -> "bool | None":
+    """Backtracking fallback: True/False when the search completes,
+    ``None`` when it hits the state cap (inconclusive)."""
+    circumference = registers * ii
+    ordered = sorted(lifetimes, key=lambda lt: (-lt.length, lt.value))
+    if any(lt.length > circumference for lt in ordered):
+        return False
+    cells = bytearray(circumference)
+    budget = [_SEARCH_CAP]
+
+    def attempt(index: int) -> "bool | None":
+        if index == len(ordered):
+            return True
+        lifetime = ordered[index]
+        for slot in range(registers):
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            start = (lifetime.start + slot * ii) % circumference
+            span = [(start + c) % circumference for c in range(lifetime.length)]
+            if any(cells[c] for c in span):
+                continue
+            for c in span:
+                cells[c] = 1
+            found = attempt(index + 1)
+            for c in span:
+                cells[c] = 0
+            if found is not False:
+                return found
+        return False
+
+    return attempt(0)
+
+
+# ======================================================================
+# independent unit assignment
+def _footprint(
+    machine: MachineConfig, opcode, start: int, ii: int
+) -> "frozenset[int] | None":
+    """Kernel cycles an operation occupies on its unit: one when the
+    unit is pipelined, the full latency otherwise; ``None`` when it can
+    never fit (occupancy beyond one whole II)."""
+    occupancy = (
+        1
+        if machine.is_pipelined(machine.fu_class(opcode))
+        else machine.latency(opcode)
+    )
+    if occupancy > ii:
+        return None
+    return frozenset((start + c) % ii for c in range(occupancy))
+
+
+def _assign_units(
+    footprints: list[tuple[str, frozenset[int]]], units: int
+) -> "bool | None":
+    """Exact check that the class's operations can each be given one of
+    *units* units with no two footprints sharing a (unit, cycle) slot —
+    backtracking, True/False/None-on-cap like :func:`_place_exhaustive`."""
+    ordered = sorted(footprints, key=lambda item: (-len(item[1]), item[0]))
+    occupancy: list[set[int]] = [set() for _ in range(units)]
+    budget = [_SEARCH_CAP]
+
+    def attempt(index: int) -> "bool | None":
+        if index == len(ordered):
+            return True
+        _name, cycles = ordered[index]
+        for unit in range(units):
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            if occupancy[unit] & cycles:
+                continue
+            occupancy[unit] |= cycles
+            found = attempt(index + 1)
+            occupancy[unit] -= cycles
+            if found is not False:
+                return found
+        return False
+
+    return attempt(0)
+
+
+# ======================================================================
+# the oracle
+def verify_schedule(schedule: Schedule, report=None) -> VerifyReport:
+    """Re-derive every invariant of *schedule*; with a
+    :class:`~repro.lifetimes.requirements.RegisterReport` also check the
+    claimed MaxLive and rotating-file size.  Never raises on an invalid
+    schedule — it reports."""
+    violations: list[Violation] = []
+    notes: list[str] = []
+    ddg, machine, ii, times = (
+        schedule.ddg, schedule.machine, schedule.ii, schedule.times,
+    )
+    checked = {"operations": len(ddg.nodes), "ii": ii, "edges": 0}
+
+    if ii < 1:
+        violations.append(
+            Violation(ViolationKind.RESULT, ddg.name, f"II must be >= 1, got {ii}")
+        )
+        return VerifyReport(ok=False, violations=tuple(violations), checked=checked)
+    missing = sorted(set(ddg.nodes) - set(times))
+    if missing:
+        violations.append(
+            Violation(
+                ViolationKind.RESULT,
+                ddg.name,
+                f"unscheduled operation(s): {', '.join(missing)}",
+            )
+        )
+        return VerifyReport(ok=False, violations=tuple(violations), checked=checked)
+
+    _check_dependences(schedule, violations, checked)
+    _check_resources(schedule, violations, checked, notes)
+    lifetimes = _derive_lifetimes(ddg, machine, times, ii)
+    checked["lifetimes"] = len(lifetimes)
+    if report is not None:
+        _check_registers(schedule, lifetimes, report, violations, checked, notes)
+    _check_spill_dataflow(ddg, violations, checked)
+
+    return VerifyReport(
+        ok=not violations,
+        violations=tuple(violations),
+        checked=checked,
+        notes=tuple(notes),
+    )
+
+
+def _check_dependences(schedule: Schedule, violations, checked) -> None:
+    ddg, machine, ii, times = (
+        schedule.ddg, schedule.machine, schedule.ii, schedule.times,
+    )
+    fused_checked = 0
+    for edge in ddg.edges:
+        checked["edges"] += 1
+        if edge.dep is DepKind.FLOW:
+            latency = machine.latency(ddg.nodes[edge.src].opcode)
+        else:
+            latency = _NON_FLOW_LATENCY
+        slack = times[edge.dst] + ii * edge.distance - times[edge.src] - latency
+        if slack < 0:
+            violations.append(
+                Violation(
+                    ViolationKind.DEPENDENCE,
+                    f"{edge.src}->{edge.dst}",
+                    f"t({edge.dst})={times[edge.dst]} +"
+                    f" {ii}*{edge.distance} - t({edge.src})={times[edge.src]}"
+                    f" < latency {latency} (short by {-slack})",
+                )
+            )
+        if edge.fused and edge.distance == 0:
+            fused_checked += 1
+            expected = times[edge.src] + machine.latency(
+                ddg.nodes[edge.src].opcode
+            )
+            if times[edge.dst] != expected:
+                violations.append(
+                    Violation(
+                        ViolationKind.FUSED_OFFSET,
+                        f"{edge.src}->{edge.dst}",
+                        f"complex operation must start exactly at"
+                        f" {expected}, starts at {times[edge.dst]}",
+                    )
+                )
+    checked["fused_pairs"] = fused_checked
+
+
+def _check_resources(schedule: Schedule, violations, checked, notes) -> None:
+    ddg, machine, ii, times = (
+        schedule.ddg, schedule.machine, schedule.ii, schedule.times,
+    )
+    by_class: dict[object, list[tuple[str, frozenset[int]]]] = {}
+    for name, node in ddg.nodes.items():
+        cycles = _footprint(machine, node.opcode, times[name], ii)
+        fu_class = machine.fu_class(node.opcode)
+        if cycles is None:
+            violations.append(
+                Violation(
+                    ViolationKind.RESOURCE,
+                    name,
+                    f"non-pipelined occupancy"
+                    f" {machine.latency(node.opcode)} exceeds II {ii}",
+                )
+            )
+            continue
+        by_class.setdefault(fu_class, []).append((name, cycles))
+    checked["fu_classes"] = len(by_class)
+    for fu_class, footprints in sorted(
+        by_class.items(), key=lambda item: item[0].value
+    ):
+        units = machine.units_of(fu_class)
+        # necessary condition first: per-cycle demand within supply
+        demand = [0] * ii
+        for _name, cycles in footprints:
+            for cycle in cycles:
+                demand[cycle] += 1
+        overfull = [c for c in range(ii) if demand[c] > units]
+        if overfull:
+            occupants = {
+                c: sorted(
+                    name for name, cycles in footprints if c in cycles
+                )
+                for c in overfull
+            }
+            detail = "; ".join(
+                f"cycle {c}: {', '.join(occupants[c])}" for c in overfull
+            )
+            violations.append(
+                Violation(
+                    ViolationKind.RESOURCE,
+                    fu_class.value,
+                    f"{units} unit(s) oversubscribed — {detail}",
+                )
+            )
+            continue
+        # sufficient condition: an actual op -> unit assignment exists
+        assignable = _assign_units(footprints, units)
+        if assignable is False:
+            violations.append(
+                Violation(
+                    ViolationKind.RESOURCE,
+                    fu_class.value,
+                    "per-cycle demand fits but no conflict-free unit"
+                    " assignment exists for the"
+                    f" {len(footprints)} operations",
+                )
+            )
+        elif assignable is None:
+            notes.append(
+                f"unit assignment for {fu_class.value} inconclusive"
+                f" (search cap {_SEARCH_CAP} states)"
+            )
+
+
+def _check_registers(
+    schedule: Schedule, lifetimes, report, violations, checked, notes
+) -> None:
+    ii = schedule.ii
+    pattern = _live_pattern(lifetimes, ii)
+    max_live = max(pattern) if pattern else 0
+    checked["max_live"] = max_live
+    if max_live != report.max_live:
+        violations.append(
+            Violation(
+                ViolationKind.MAXLIVE,
+                schedule.ddg.name,
+                f"independent per-cycle live count peaks at {max_live},"
+                f" reported MaxLive is {report.max_live}",
+            )
+        )
+    invariants = len(schedule.ddg.invariants)
+    if report.invariants != invariants:
+        violations.append(
+            Violation(
+                ViolationKind.MAXLIVE,
+                schedule.ddg.name,
+                f"graph has {invariants} loop-invariants, report claims"
+                f" {report.invariants}",
+            )
+        )
+    if not report.exact:
+        # the estimate-only report claims no allocation; MaxLive was the
+        # whole check
+        return
+    arcs = [lt for lt in lifetimes if lt.length > 0]
+    checked["allocated"] = report.allocated
+    if not arcs:
+        if report.allocated != 0:
+            violations.append(
+                Violation(
+                    ViolationKind.ALLOCATION,
+                    schedule.ddg.name,
+                    f"no live arcs but {report.allocated} rotating"
+                    " registers reported",
+                )
+            )
+        return
+    if report.allocated < max_live:
+        violations.append(
+            Violation(
+                ViolationKind.ALLOCATION,
+                schedule.ddg.name,
+                f"reported file size {report.allocated} is below the"
+                f" MaxLive lower bound {max_live}",
+            )
+        )
+        return
+    if _place_on_circle(arcs, ii, report.allocated) is not None:
+        return
+    exhaustive = _place_exhaustive(arcs, ii, report.allocated)
+    if exhaustive is False:
+        violations.append(
+            Violation(
+                ViolationKind.ALLOCATION,
+                schedule.ddg.name,
+                f"no non-overlapping placement of {len(arcs)} lifetimes"
+                f" exists on the {report.allocated}*{ii}-cell circle",
+            )
+        )
+    elif exhaustive is None:
+        notes.append(
+            f"allocation feasibility at {report.allocated} registers"
+            f" inconclusive (search cap {_SEARCH_CAP} states)"
+        )
+
+
+def _check_spill_dataflow(ddg: DDG, violations, checked) -> None:
+    from repro.core.spill import SpillHome
+    from repro.ir.operations import Opcode
+
+    spill_ops = 0
+    homes_stored = {}
+    for name, node in ddg.nodes.items():
+        if node.is_store and node.mem is not None:
+            homes_stored.setdefault(_home_key(node.mem), name)
+    for name, node in ddg.nodes.items():
+        if not node.is_spill:
+            continue
+        spill_ops += 1
+        if node.opcode is Opcode.SPILL_STORE:
+            producers = [
+                e for e in ddg.in_edges(name)
+                if e.kind is EdgeKind.REG and e.distance == 0
+            ]
+            if not producers:
+                violations.append(
+                    Violation(
+                        ViolationKind.SPILL_DATAFLOW,
+                        name,
+                        "spill store reads no same-iteration register"
+                        " value",
+                    )
+                )
+            reloads = [
+                e for e in ddg.out_edges(name)
+                if e.kind is EdgeKind.MEM and e.dep is DepKind.FLOW
+            ]
+            if not reloads:
+                violations.append(
+                    Violation(
+                        ViolationKind.SPILL_DATAFLOW,
+                        name,
+                        "spill store feeds no reload (dead spill)",
+                    )
+                )
+            for edge in reloads:
+                consumer = ddg.nodes[edge.dst]
+                if _home_key(consumer.mem) != _home_key(node.mem):
+                    violations.append(
+                        Violation(
+                            ViolationKind.SPILL_DATAFLOW,
+                            f"{name}->{edge.dst}",
+                            f"store writes {node.mem}, reload reads"
+                            f" {consumer.mem}",
+                        )
+                    )
+        else:  # SPILL_LOAD
+            if not any(
+                e.kind is EdgeKind.REG for e in ddg.out_edges(name)
+            ):
+                violations.append(
+                    Violation(
+                        ViolationKind.SPILL_DATAFLOW,
+                        name,
+                        "reload feeds no consumer (dead reload)",
+                    )
+                )
+            # A reload of an in-loop spill home must be reached by the
+            # store of that home over a memory flow edge.  (Reloads of
+            # loop-invariants and rematerializable array elements have
+            # no in-loop store — recognizable by no node storing the
+            # same home.)
+            if (
+                isinstance(node.mem, SpillHome)
+                and _home_key(node.mem) in homes_stored
+                and not any(
+                    e.kind is EdgeKind.MEM
+                    and e.dep is DepKind.FLOW
+                    and _home_key(ddg.nodes[e.src].mem) == _home_key(node.mem)
+                    for e in ddg.in_edges(name)
+                )
+            ):
+                violations.append(
+                    Violation(
+                        ViolationKind.SPILL_DATAFLOW,
+                        name,
+                        f"reload of {node.mem} has no memory flow edge"
+                        f" from its spill store"
+                        f" ({homes_stored[_home_key(node.mem)]})",
+                    )
+                )
+    checked["spill_ops"] = spill_ops
+
+
+def _home_key(mem) -> str:
+    return repr(mem)
+
+
+# ======================================================================
+# result-level verification
+def verify_result(result, loop=None, options: dict | None = None) -> VerifyReport:
+    """Verify a :class:`~repro.api.CompilationResult` end to end.
+
+    With the heavyweight artifacts present (in-process compilation),
+    the schedule/report/graph are checked directly and the scalar fields
+    are cross-checked against them.  Without artifacts (a JSON
+    round-trip, a daemon- or cluster-served result), pass the loop
+    *source* (or DDG): the result is independently recompiled from its
+    own recorded machine/scheduler/strategy/budget, the served scalars
+    are compared against the recompilation, and the recompiled artifacts
+    go through the full oracle — so a served document verifies exactly
+    like the in-process result it mirrors.
+    """
+    violations: list[Violation] = []
+    notes: list[str] = []
+
+    if result.schedule is None and result.ii is not None and loop is not None:
+        return _verify_served(result, loop, options)
+
+    if result.schedule is None:
+        if result.ii is not None:
+            return VerifyReport(
+                ok=False,
+                violations=(
+                    Violation(
+                        ViolationKind.RESULT,
+                        result.loop,
+                        "result claims II"
+                        f" {result.ii} but carries no schedule artifact"
+                        " (pass the loop source to verify a served"
+                        " result)",
+                    ),
+                ),
+            )
+        # nothing was scheduled; there is nothing to check
+        return VerifyReport(
+            ok=True,
+            checked={"operations": 0},
+            notes=("no schedule produced (" + result.reason + ")",),
+        )
+
+    schedule = result.schedule
+    inner = verify_schedule(schedule, report=result.report)
+    violations.extend(inner.violations)
+    notes.extend(inner.notes)
+    checked = dict(inner.checked)
+
+    def scalar(field_name: str, reported, derived) -> None:
+        if reported != derived:
+            violations.append(
+                Violation(
+                    ViolationKind.RESULT,
+                    result.loop,
+                    f"{field_name}: result says {reported!r}, artifacts"
+                    f" say {derived!r}",
+                )
+            )
+
+    scalar("ii", result.ii, schedule.ii)
+    scalar("stage_count", result.stage_count, schedule.stage_count)
+    if result.converged:
+        # non-converged spill runs report memory_ops of the graph they
+        # gave up on, which may post-date the last valid schedule
+        derived_memory_ops = sum(
+            1 for node in schedule.ddg.nodes.values() if node.is_memory
+        )
+        scalar("memory_ops", result.memory_ops, derived_memory_ops)
+    if result.report is not None:
+        scalar(
+            "registers_used",
+            result.registers_used,
+            result.report.allocated + result.report.invariants,
+        )
+        if result.converged and result.registers is not None:
+            total = result.report.allocated + result.report.invariants
+            if total > result.registers:
+                violations.append(
+                    Violation(
+                        ViolationKind.RESULT,
+                        result.loop,
+                        f"converged result needs {total} registers,"
+                        f" budget is {result.registers}",
+                    )
+                )
+    return VerifyReport(
+        ok=not violations,
+        violations=tuple(violations),
+        checked=checked,
+        notes=tuple(notes),
+    )
+
+
+def _verify_served(result, loop, options: dict | None) -> VerifyReport:
+    """Recompile a served (artifact-less) result and verify the
+    recompilation, cross-checking every deterministic scalar."""
+    from repro.api import compile_loop
+
+    if options is None and "policy" in result.details:
+        options = {"policy": result.details["policy"]}
+    local = compile_loop(
+        loop,
+        machine=result.machine,
+        scheduler=result.scheduler,
+        strategy=result.strategy,
+        registers=result.registers,
+        options=options,
+        name=result.loop,
+    )
+    violations: list[Violation] = []
+    for field_name in (
+        "converged", "ii", "stage_count", "mii", "registers_used",
+        "memory_ops", "spilled",
+    ):
+        served = getattr(result, field_name)
+        recompiled = getattr(local, field_name)
+        if served != recompiled:
+            violations.append(
+                Violation(
+                    ViolationKind.RESULT,
+                    result.loop,
+                    f"served {field_name}={served!r} diverges from local"
+                    f" recompilation ({recompiled!r})",
+                )
+            )
+    inner = verify_result(local)
+    return VerifyReport(
+        ok=inner.ok and not violations,
+        violations=tuple(violations) + inner.violations,
+        checked=dict(inner.checked),
+        notes=("verified via local recompilation",) + inner.notes,
+    )

@@ -347,6 +347,42 @@ class _RandomLoopState:
         return f"W{self.n_outs}[i] = {' + '.join(self.temps)}"
 
 
+def derive_seed(seed: int, index: int) -> int:
+    """The *index*-th iteration seed of a run rooted at *seed*.
+
+    A splitmix-style mix, so consecutive indexes land far apart in seed
+    space and ``derive_seed(seed, i)`` fully determines iteration ``i``
+    without replaying iterations ``0..i-1`` — the property the fuzzer's
+    printed-seed replay relies on.
+    """
+    mixed = (seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) % 2**64
+    mixed ^= mixed >> 31
+    return (mixed * 0x94D049BB133111EB) % 2**64 >> 32
+
+
+def random_loop_spec(
+    seed: int,
+    index: int = 0,
+    params: RandomDDGParams | None = None,
+    **overrides,
+) -> LoopSpec:
+    """One random loop, generated from ``derive_seed(seed, index)``
+    alone — byte-identical whether produced inside a long fuzz run or
+    replayed standalone from the printed seed."""
+    params = params or RandomDDGParams()
+    if overrides:
+        params = replace(params, **overrides)
+    rng = random.Random(derive_seed(seed, index))
+    source = random_loop_source(rng, params)
+    weight = max(8, int(rng.lognormvariate(5.0, 1.0)))
+    return LoopSpec(
+        name=f"fuzz{index:06d}",
+        source=source,
+        weight=weight,
+        category="random",
+    )
+
+
 def random_loop_specs(
     count: int,
     seed: int,

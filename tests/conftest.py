@@ -1,4 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The cross-cutting inputs live here once: the paper's running example,
+the three reference machines, a small loop set that exercises every
+scheduler/strategy axis, and the ``compiled()`` helper that turns
+(source, knobs) into a :class:`~repro.api.CompilationResult` the same
+way every test should.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,20 @@ from repro.machine import generic_machine, p1l4, p2l4, p2l6
 from repro.sched import HRMSScheduler, IMSScheduler, SwingScheduler
 
 FIG2_SOURCE = "x[i] = y[i]*a + y[i-3]"
+
+# A deliberately small population that still spans the interesting axes:
+# a flat loop, the paper's recurrence example, a reduction (RecMII
+# binding), a memory-heavy stencil, and a wide high-pressure body that
+# forces the register strategies to actually act at small budgets.
+CROSS_SCHEDULER_LOOPS = {
+    "triad": "z[i] = x[i] + y[i]*b",
+    "fig2": FIG2_SOURCE,
+    "dot": "s = s + x[i]*y[i]",
+    "stencil": "o[i] = (a[i-1] + a[i] + a[i+1]) / c",
+    "wide": "\n".join(
+        f"o{k}[i] = a{k}[i]*b{k}[i] + c{k}[i]" for k in range(4)
+    ),
+}
 
 
 @pytest.fixture
@@ -31,3 +52,26 @@ def paper_machine(request):
 @pytest.fixture(params=[HRMSScheduler, IMSScheduler, SwingScheduler])
 def any_scheduler(request):
     return request.param()
+
+
+@pytest.fixture(params=sorted(CROSS_SCHEDULER_LOOPS))
+def cross_scheduler_loop(request):
+    """(name, source) pairs of the shared cross-scheduler loop set."""
+    return request.param, CROSS_SCHEDULER_LOOPS[request.param]
+
+
+@pytest.fixture
+def compiled():
+    """``compiled(source, **knobs)`` -> CompilationResult via the public
+    pipeline, with the suite's defaults (P2L4, hrms, combined, 32
+    registers) filled in."""
+    from repro.api import compile_loop
+
+    def _compiled(source, **knobs):
+        knobs.setdefault("machine", "P2L4")
+        knobs.setdefault("scheduler", "hrms")
+        knobs.setdefault("strategy", "combined")
+        knobs.setdefault("registers", 32)
+        return compile_loop(source, **knobs)
+
+    return _compiled

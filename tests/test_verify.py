@@ -1,0 +1,247 @@
+"""Tests for the independent schedule-validity oracle (repro.verify).
+
+The oracle re-derives every invariant from scratch — dependence slack,
+modulo-resource feasibility, lifetime overlap on the rotating file,
+spill dataflow — so these tests check two directions: every schedule
+the real pipeline produces passes, and known-bad artifacts (one op
+shifted, a unit double-booked, a report that lies about MaxLive or the
+allocation) are rejected with the right typed violation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CompilationResult, Pipeline, compile_loop
+from repro.core.registry import strategy_names
+from repro.lifetimes.requirements import RegisterReport
+from repro.verify import (
+    VerificationError,
+    ViolationKind,
+    verify_result,
+    verify_schedule,
+)
+from repro.workloads import random_suite
+
+from conftest import CROSS_SCHEDULER_LOOPS
+
+SCHEDULERS = ("hrms", "ims", "swing")
+
+
+def kinds_of(report):
+    return {violation.kind for violation in report.violations}
+
+
+# ----------------------------------------------------------------------
+# every real schedule passes
+class TestOracleAcceptsRealSchedules:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("strategy", sorted(strategy_names()))
+    def test_random_suite_validates(self, scheduler, strategy):
+        for workload in random_suite(size=6, seed=1996):
+            result = compile_loop(
+                workload.ddg.copy(), machine="P2L4", scheduler=scheduler,
+                strategy=strategy, registers=32,
+            )
+            oracle = verify_result(result)
+            assert oracle.ok, (
+                f"{workload.name} [{scheduler}/{strategy}]:"
+                f"\n{oracle.render()}"
+            )
+
+    def test_cross_scheduler_loops_all_machines(
+        self, cross_scheduler_loop, paper_machine, any_scheduler
+    ):
+        name, source = cross_scheduler_loop
+        result = compile_loop(
+            source, machine=paper_machine, scheduler=any_scheduler.name,
+            strategy="combined", registers=32, name=name,
+        )
+        oracle = verify_result(result)
+        assert oracle.ok, oracle.render()
+
+    def test_spilled_schedule_validates(self, compiled):
+        result = compiled(
+            CROSS_SCHEDULER_LOOPS["wide"], machine="generic:4:2",
+            strategy="spill", registers=6,
+        )
+        assert result.spilled
+        oracle = verify_result(result)
+        assert oracle.ok, oracle.render()
+        assert oracle.checked.get("spill_ops", 0) > 0
+
+    def test_nonconverged_results_are_still_checkable(self, compiled):
+        result = compiled(
+            CROSS_SCHEDULER_LOOPS["wide"], machine="generic:4:2",
+            strategy="none", registers=4,
+        )
+        assert not result.converged
+        # the partial artifacts must still be internally consistent
+        assert verify_result(result).ok
+
+
+# ----------------------------------------------------------------------
+# mutation tests: corrupt a known-good schedule, demand the right kind
+class TestOracleRejectsCorruptions:
+    def _flow_victim(self, schedule):
+        """A (src, dst) same-iteration flow pair that is not fused, so
+        moving dst onto src violates only the dependence inequality."""
+        for edge in schedule.ddg.edges:
+            if edge.distance == 0 and not edge.fused:
+                if schedule.times[edge.dst] > schedule.times[edge.src]:
+                    return edge
+        raise AssertionError("no unfused same-iteration edge to corrupt")
+
+    def test_shifted_op_is_a_dependence_violation(self, compiled):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        schedule = result.schedule
+        edge = self._flow_victim(schedule)
+        schedule.times[edge.dst] = schedule.times[edge.src]
+        oracle = verify_schedule(schedule)
+        assert not oracle.ok
+        assert ViolationKind.DEPENDENCE in kinds_of(oracle)
+
+    def test_double_booked_unit_is_a_resource_violation(self):
+        result = compile_loop(
+            "z[i] = x[i] + y[i]", machine="P1L4", scheduler="hrms",
+            strategy="none",
+        )
+        schedule = result.schedule
+        # P1L4 has one memory unit; the two loads are independent, so
+        # pulling the later one onto the earlier one's cycle breaks no
+        # dependence — only the reservation table.
+        loads = sorted(
+            (name for name, node in schedule.ddg.nodes.items()
+             if node.opcode.name == "LOAD"),
+            key=schedule.times.__getitem__,
+        )
+        assert len(loads) == 2
+        schedule.times[loads[1]] = schedule.times[loads[0]]
+        oracle = verify_schedule(schedule)
+        assert not oracle.ok
+        assert kinds_of(oracle) == {ViolationKind.RESOURCE}
+
+    def test_understated_maxlive_is_a_maxlive_violation(self, compiled):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        honest = result.report
+        assert honest.max_live > 1
+        lying = RegisterReport(
+            max_live=honest.max_live - 1, allocated=honest.allocated,
+            invariants=honest.invariants, exact=False,
+        )
+        oracle = verify_schedule(result.schedule, report=lying)
+        assert not oracle.ok
+        assert ViolationKind.MAXLIVE in kinds_of(oracle)
+
+    def test_understated_allocation_is_an_allocation_violation(
+        self, compiled
+    ):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        honest = result.report
+        lying = RegisterReport(
+            max_live=honest.max_live, allocated=honest.max_live - 1,
+            invariants=honest.invariants, exact=True,
+        )
+        oracle = verify_schedule(result.schedule, report=lying)
+        assert not oracle.ok
+        assert ViolationKind.ALLOCATION in kinds_of(oracle)
+
+    def test_wrong_scalar_summary_is_a_result_violation(self, compiled):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        result.ii = result.ii + 1
+        oracle = verify_result(result)
+        assert not oracle.ok
+        assert ViolationKind.RESULT in kinds_of(oracle)
+
+
+# ----------------------------------------------------------------------
+# the pipeline switch and the `verified` field
+class TestVerifyWiring:
+    def test_compile_loop_stamps_verified(self):
+        result = compile_loop(
+            "z[i] = x[i] + y[i]*b", registers=16, verify=True
+        )
+        assert result.verified is True
+        assert json.loads(result.to_json_text())["verified"] is True
+
+    def test_default_is_unverified(self, compiled):
+        result = compiled("z[i] = x[i] + y[i]*b")
+        assert result.verified is None
+        assert json.loads(result.to_json_text())["verified"] is None
+
+    def test_pipeline_verify_switch(self):
+        results = Pipeline(verify=True).compile_many(
+            [{"loop": "z[i] = x[i] + y[i]*b", "registers": 16}]
+        )
+        assert results[0].verified is True
+
+    def test_verification_error_carries_the_report(self, compiled):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        result.ii = result.ii + 1
+        oracle = verify_result(result)
+        error = VerificationError(result.loop, oracle)
+        assert error.report is oracle
+        assert "RESULT" in str(error).upper() or oracle.violations
+
+    def test_violation_round_trips_through_json(self, compiled):
+        result = compiled("x[i] = y[i]*a + y[i-3]")
+        result.ii = result.ii + 1
+        oracle = verify_result(result)
+        from repro.verify import VerifyReport
+
+        clone = VerifyReport.from_json(oracle.to_json())
+        assert clone.ok == oracle.ok
+        assert [str(v) for v in clone.violations] == [
+            str(v) for v in oracle.violations
+        ]
+
+
+# ----------------------------------------------------------------------
+# oracle-under-service parity (satellite 4)
+class TestServiceParity:
+    REQUESTS = [
+        {"loop": "x[i] = y[i]*a + y[i-3]", "name": "fig2",
+         "registers": 16},
+        {"loop": "s = s + x[i]*y[i]", "name": "dot", "machine": "P1L4",
+         "strategy": "increase", "registers": 8},
+        {"loop": "z[i] = x[i] + y[i]*b", "name": "triad",
+         "scheduler": "swing", "strategy": "spill", "registers": 6},
+    ]
+
+    def test_served_documents_verify_identically(self):
+        from repro.server import CompileService
+
+        direct = Pipeline().compile_many(
+            [dict(r) for r in self.REQUESTS]
+        )
+        with CompileService(batch_window=0.0) as service:
+            served = service.compile_many(
+                [dict(r) for r in self.REQUESTS]
+            )
+        for request, one_direct, one_served in zip(
+            self.REQUESTS, direct, served
+        ):
+            # the service document round-trips artifact-free; the oracle
+            # recompiles from the recorded parameters and cross-checks
+            round_tripped = CompilationResult.from_json(
+                json.loads(one_served.to_json_text())
+            )
+            assert round_tripped.schedule is None
+            oracle = verify_result(round_tripped, loop=request["loop"])
+            assert oracle.ok, oracle.render()
+            # direct Pipeline results are service-shaped (artifact-free)
+            # too; the same source-backed verification must agree
+            assert verify_result(one_direct, loop=request["loop"]).ok
+
+    def test_served_corruption_is_caught(self):
+        result = compile_loop("z[i] = x[i] + y[i]*b", registers=16)
+        document = json.loads(result.to_json_text())
+        document["ii"] = document["ii"] + 1
+        round_tripped = CompilationResult.from_json(document)
+        oracle = verify_result(
+            round_tripped, loop="z[i] = x[i] + y[i]*b"
+        )
+        assert not oracle.ok
+        assert ViolationKind.RESULT in kinds_of(oracle)
