@@ -502,15 +502,17 @@ class Pipeline:
                     result = _service_compile(request)
                 yield result
             return
-        from repro.pool import worker_pool
+        from repro.pool import imap_resilient
 
         with _cache_context(self.cache):
             # The shared persistent pool (also the engine's) is keyed
             # by (jobs, active store) and its workers inherit the store
             # at creation — nothing to hold open while streaming.
-            pool = worker_pool(jobs)
-        # Executor.map streams results back in submission order.
-        yield from pool.map(_service_compile, normalized)
+            # Submission is eager; results stream back in request
+            # order, surviving one worker-pool crash (lost requests
+            # are retried exactly once on a respawned pool).
+            stream = imap_resilient(_service_compile, normalized, jobs)
+        yield from stream
 
     def compile_many(
         self,

@@ -690,6 +690,41 @@ def _cmd_cluster(args) -> int:
     )
 
 
+def _cmd_chaos(args) -> int:
+    import pathlib
+
+    from repro.faults.chaos import ChaosError, run_chaos
+
+    if args.size < 1:
+        raise SystemExit("repro chaos: --size must be >= 1")
+    if args.jobs < 2:
+        raise SystemExit(
+            "repro chaos: --jobs must be >= 2 (the worker-kill shard"
+            " needs a real pool)"
+        )
+    try:
+        report = run_chaos(
+            size=args.size,
+            seed=args.seed,
+            jobs=args.jobs,
+            budgets=tuple(args.budgets),
+            machine_names=tuple(args.machines),
+            down_ttl=args.down_ttl,
+            verify=not args.no_verify,
+            artifacts_dir=args.artifacts_dir,
+            skip_restart=args.no_restart,
+            log=lambda message: print(f"repro chaos: {message}"),
+        )
+    except ChaosError as error:
+        raise SystemExit(f"repro chaos: {error}")
+    print(report.render())
+    if args.json_out:
+        path = pathlib.Path(args.json_out)
+        path.write_text(report.to_json_text() + "\n")
+        print(f"report written to {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1107,6 +1142,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard cache directory holding metrics.sqlite",
     )
     top_parser.set_defaults(func=_cmd_cluster)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the seeded fault schedule against a live local"
+        " cluster and assert sweep byte-identity (see REPRO_FAULTS in"
+        " docs/TESTING.md)",
+    )
+    chaos_parser.add_argument(
+        "--size", type=int, default=6, metavar="N",
+        help="suite size for the chaos sweep (default 6)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="suite + fault-plan seed (default: the suite default)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="pool width of the worker-kill shard (default 2)",
+    )
+    chaos_parser.add_argument(
+        "--budgets", type=int, nargs="+", default=[32], metavar="R",
+        help="register budgets for the sweep (default: 32)",
+    )
+    chaos_parser.add_argument(
+        "--machines", nargs="+", default=["P2L4"], metavar="NAME",
+        choices=machine_names(),
+        help="machine configurations for the sweep (default: P2L4)",
+    )
+    chaos_parser.add_argument(
+        "--down-ttl", type=float, default=2.0, metavar="SECONDS",
+        help="cluster down-set TTL: how long a dead shard is skipped"
+        " before re-probing (default 2.0)",
+    )
+    chaos_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the independent schedule oracle on every cell",
+    )
+    chaos_parser.add_argument(
+        "--no-restart", action="store_true",
+        help="skip the shard-rebirth phase (no recovery assertion)",
+    )
+    chaos_parser.add_argument(
+        "--artifacts-dir", metavar="DIR", default=None,
+        help="write per-phase sweep JSON here for external cmp"
+        " (default: a temporary directory)",
+    )
+    chaos_parser.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the machine-readable chaos report here",
+    )
+    chaos_parser.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -41,6 +41,7 @@ import urllib.error
 import urllib.request
 
 from repro.api import CompilationResult, Pipeline
+from repro.faults import plan as faults
 
 #: Environment variable naming the default server address.
 ENV_SERVER = "REPRO_SERVER"
@@ -55,15 +56,70 @@ class ClientError(RuntimeError):
     """A server-side failure or protocol violation."""
 
 
+class ServerTimeout(ClientError, TimeoutError):
+    """The server reported (or the client enforced) a missed
+    ``deadline_ms`` — the typed ``timeout`` error kind."""
+
+
+class ServerBusy(ClientError):
+    """The server shed the request from a full queue — the typed
+    ``busy`` error kind.  Transient: back off or try another shard."""
+
+
+class ServerShuttingDown(ClientError):
+    """The server is draining for shutdown — the typed
+    ``shutting_down`` error kind.  Transient: try another shard."""
+
+
+class RetriesExhausted(ClientError, OSError):
+    """:func:`connect` gave up: every attempt failed transiently and
+    the retry budget (or overall *deadline*) ran out.  Deliberately
+    **not** transient itself — retrying the retry loop is how retry
+    storms start — but :class:`repro.cluster.ClusterClient` treats it
+    as fail-over-eligible (the shard is down; a sibling may not be).
+    Also an :class:`OSError`, because callers of
+    ``connect(fallback=False)`` historically caught the raw connection
+    error."""
+
+
+#: Error kinds a typed protocol response may carry → client exception.
+_KIND_ERRORS = {
+    "timeout": ServerTimeout,
+    "busy": ServerBusy,
+    "shutting_down": ServerShuttingDown,
+}
+
+#: ClientError message prefixes that indicate a transient transport
+#: failure (the server died, restarted, or never answered) rather than
+#: a deterministic rejection.
+_TRANSIENT_PREFIXES = (
+    "server unreachable",
+    "server closed the connection",
+    "truncated response",
+)
+
+
+def raise_for_kind(message: str, kind) -> None:
+    """Raise the typed client error for a protocol ``kind`` tag, or the
+    plain :class:`ClientError` when the kind is absent/unknown."""
+    raise _KIND_ERRORS.get(kind, ClientError)(message)
+
+
 def is_transient_error(error: BaseException) -> bool:
     """Whether *error* is worth a reconnection retry: OS-level
-    connection failures and the HTTP client's unreachable-server
-    wrapper.  Auth rejections and server-side compile errors are
-    deterministic — retrying them only hides misconfiguration."""
+    connection failures, the unreachable/closed/truncated transport
+    wrappers, and typed busy/shutting-down rejections (the work was
+    never accepted).  Auth rejections, missed deadlines, exhausted
+    retry budgets and server-side compile errors are deterministic —
+    retrying them only hides misconfiguration."""
+    if isinstance(error, (ServerBusy, ServerShuttingDown)):
+        return True
+    if isinstance(error, (ServerTimeout, RetriesExhausted)):
+        return False
     if isinstance(error, OSError):
         return True
     return isinstance(error, ClientError) and str(error).startswith(
-        "server unreachable"
+        _TRANSIENT_PREFIXES
     )
 
 
@@ -139,10 +195,17 @@ class _BaseClient:
         )
         return self.compile_request(request)
 
-    def compile_request(self, request: dict) -> CompilationResult:
+    def compile_request(
+        self, request: dict, deadline_ms: float | None = None
+    ) -> CompilationResult:
+        """Compile one request mapping.  *deadline_ms* (wire clients
+        only) bounds the server-side queue wait and the response wait;
+        a miss raises :class:`ServerTimeout`."""
         raise NotImplementedError
 
-    def compile_many(self, requests) -> list[CompilationResult]:
+    def compile_many(
+        self, requests, deadline_ms: float | None = None
+    ) -> list[CompilationResult]:
         raise NotImplementedError
 
     def evaluate_cells(self, cell_documents) -> tuple[list, dict]:
@@ -184,37 +247,81 @@ class _LineClient(_BaseClient):
         self._file = sock.makefile("rwb")
         self._next_id = 0
 
-    def _call(self, op: str, **fields) -> dict:
+    def _call(
+        self, op: str, deadline_ms: float | None = None, **fields
+    ) -> dict:
         self._next_id += 1
         message = {"op": op, "id": self._next_id, **fields}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         if self.token is not None:
             message["token"] = self.token
-        self._file.write(
-            (json.dumps(message, sort_keys=True) + "\n").encode()
-        )
-        self._file.flush()
-        line = self._file.readline()
+        if faults.enabled() and faults.fire("cluster.auth_flap") is not None:
+            message["token"] = "<fault-injected-auth-flap>"
+        restore_timeout = _UNSET
+        if deadline_ms is not None:
+            # enforce the deadline client-side too: a server stalled
+            # mid-response must not hold us past it
+            restore_timeout = self._sock.gettimeout()
+            self._sock.settimeout(deadline_ms / 1000.0)
+        try:
+            self._file.write(
+                (json.dumps(message, sort_keys=True) + "\n").encode()
+            )
+            self._file.flush()
+            line = self._file.readline()
+        except (socket.timeout, TimeoutError):
+            # the stream is desynced (the response may still arrive
+            # later) — this connection is done
+            self.close()
+            raise ServerTimeout(
+                f"deadline of {deadline_ms:g} ms exceeded waiting for"
+                " server response"
+            ) from None
+        finally:
+            if restore_timeout is not _UNSET:
+                import contextlib
+
+                with contextlib.suppress(OSError):
+                    self._sock.settimeout(restore_timeout)
         if not line:
             raise ClientError("server closed the connection")
-        response = json.loads(line)
+        if not line.endswith(b"\n"):
+            # readline returned a partial line before EOF: the server
+            # died mid-write
+            raise ClientError("truncated response from server")
+        try:
+            response = json.loads(line)
+        except ValueError:
+            raise ClientError("truncated response from server") from None
         if response.get("id") != self._next_id:
             raise ClientError(
                 f"response id {response.get('id')!r} does not match"
                 f" request id {self._next_id}"
             )
         if not response.get("ok"):
-            raise ClientError(response.get("error", "unknown server error"))
+            raise_for_kind(
+                response.get("error", "unknown server error"),
+                response.get("kind"),
+            )
         return response
 
-    def compile_request(self, request: dict) -> CompilationResult:
+    def compile_request(
+        self, request: dict, deadline_ms: float | None = None
+    ) -> CompilationResult:
         response = self._call(
-            "compile", request=self._apply_defaults(request)
+            "compile",
+            deadline_ms=deadline_ms,
+            request=self._apply_defaults(request),
         )
         return CompilationResult.from_json(response["result"])
 
-    def compile_many(self, requests) -> list[CompilationResult]:
+    def compile_many(
+        self, requests, deadline_ms: float | None = None
+    ) -> list[CompilationResult]:
         response = self._call(
             "compile_many",
+            deadline_ms=deadline_ms,
             requests=[self._apply_defaults(r) for r in requests],
         )
         return [
@@ -291,7 +398,9 @@ class HTTPClient(_BaseClient):
         self.timeout = timeout
         self.token = token
 
-    def _call(self, path: str, payload=None) -> dict:
+    def _call(
+        self, path: str, payload=None, deadline_ms: float | None = None
+    ) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {}
@@ -300,27 +409,51 @@ class HTTPClient(_BaseClient):
             headers["Content-Type"] = "application/json"
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        timeout = self.timeout
+        if deadline_ms is not None:
+            headers["X-Repro-Deadline-Ms"] = f"{deadline_ms:g}"
+            timeout = min(timeout, deadline_ms / 1000.0)
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as r:
+            with urllib.request.urlopen(request, timeout=timeout) as r:
                 return json.loads(r.read())
         except urllib.error.HTTPError as error:
+            kind = None
             try:
-                message = json.loads(error.read()).get("error", str(error))
+                document = json.loads(error.read())
+                message = document.get("error", str(error))
+                kind = document.get("kind")
             except Exception:
                 message = str(error)
-            raise ClientError(message) from error
+            raise_for_kind(message, kind)
         except urllib.error.URLError as error:
+            if deadline_ms is not None and isinstance(
+                error.reason, (socket.timeout, TimeoutError)
+            ):
+                raise ServerTimeout(
+                    f"deadline of {deadline_ms:g} ms exceeded waiting for"
+                    " server response"
+                ) from None
             raise ClientError(f"server unreachable: {error.reason}") from error
 
-    def compile_request(self, request: dict) -> CompilationResult:
+    def compile_request(
+        self, request: dict, deadline_ms: float | None = None
+    ) -> CompilationResult:
         return CompilationResult.from_json(
-            self._call("/compile", self._apply_defaults(request))
+            self._call(
+                "/compile",
+                self._apply_defaults(request),
+                deadline_ms=deadline_ms,
+            )
         )
 
-    def compile_many(self, requests) -> list[CompilationResult]:
+    def compile_many(
+        self, requests, deadline_ms: float | None = None
+    ) -> list[CompilationResult]:
         response = self._call(
-            "/compile_many", [self._apply_defaults(r) for r in requests]
+            "/compile_many",
+            [self._apply_defaults(r) for r in requests],
+            deadline_ms=deadline_ms,
         )
         return [
             CompilationResult.from_json(document)
@@ -379,10 +512,16 @@ class LocalClient(_BaseClient):
             request["options"] = dict(options)
         return self.compile_request(request)
 
-    def compile_request(self, request: dict) -> CompilationResult:
+    def compile_request(
+        self, request: dict, deadline_ms: float | None = None
+    ) -> CompilationResult:
+        # deadlines bound queue/transport waits; in-process compilation
+        # has neither, so the parameter is accepted and ignored
         return self.pipeline.compile_many([self._apply_defaults(request)])[0]
 
-    def compile_many(self, requests) -> list[CompilationResult]:
+    def compile_many(
+        self, requests, deadline_ms: float | None = None
+    ) -> list[CompilationResult]:
         return self.pipeline.compile_many(
             [self._apply_defaults(r) for r in requests]
         )
@@ -426,6 +565,7 @@ def connect(
     retries: int = 3,
     backoff: float = 0.05,
     token: str | None = None,
+    deadline: float | None = None,
     **pipeline_defaults,
 ) -> _BaseClient:
     """Connect to a compilation daemon, or fall back to in-process.
@@ -436,11 +576,15 @@ def connect(
     daemon mid-restart) are retried up to *retries* times with bounded
     exponential backoff (*backoff*, doubling per attempt, capped at
     2s); ``retries=0`` is the escape hatch for fail-fast probing.
-    Deterministic failures — an auth rejection, a protocol error — are
-    never retried.  After the verdict, an unreachable (or unconfigured)
-    server returns a :class:`LocalClient` unless ``fallback=False``, in
-    which case the connection error (or a :class:`ValueError` when no
-    address was given at all) propagates.
+    *deadline* additionally bounds the **total** wall time the retry
+    loop may consume (seconds): however many retries remain, no sleep
+    starts past the deadline.  Deterministic failures — an auth
+    rejection, a protocol error — are never retried.  After the
+    verdict, an unreachable (or unconfigured) server returns a
+    :class:`LocalClient` unless ``fallback=False``; then a transient
+    exhaustion raises :class:`RetriesExhausted` (wrapping the last
+    error), a deterministic failure propagates as itself, and a missing
+    address raises :class:`ValueError`.
 
     *pipeline_defaults* (``machine``/``scheduler``/``strategy``/
     ``registers``/``options``) become client-level request defaults,
@@ -460,7 +604,10 @@ def connect(
     token = token if token is not None else os.environ.get(ENV_TOKEN)
     client: _BaseClient | None = None
     if address:
-        for attempt in range(max(0, retries) + 1):
+        started = time.monotonic()
+        limit = started + deadline if deadline is not None else None
+        attempt = 0
+        while True:
             try:
                 client = client_for(address, timeout=timeout, token=token)
                 client.healthz()
@@ -471,9 +618,21 @@ def connect(
                     client = None
                 transient = is_transient_error(error)
                 if transient and attempt < retries:
-                    time.sleep(min(backoff * (2 ** attempt), 2.0))
-                    continue
+                    pause = min(backoff * (2 ** attempt), 2.0)
+                    if limit is None or time.monotonic() + pause < limit:
+                        attempt += 1
+                        time.sleep(pause)
+                        continue
+                    # the overall deadline would be blown mid-sleep:
+                    # this is an exhaustion, not one more retry
                 if not fallback:
+                    if transient:
+                        elapsed = time.monotonic() - started
+                        raise RetriesExhausted(
+                            f"retries exhausted after {attempt + 1} "
+                            f"attempt(s) over {elapsed:.2f}s connecting "
+                            f"to {address}: {error}"
+                        ) from error
                     raise
                 break
     elif not fallback:

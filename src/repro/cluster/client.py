@@ -15,8 +15,13 @@ protocol, usually token-authenticated) as one compilation service:
   per-request key);
 * when a shard is unreachable the request fails over to the next node
   in ring order (:meth:`repro.cluster.ring.HashRing.route`) — the same
-  successor every client computes — and the dead shard is skipped until
-  the whole ring has been marked down (then everything is retried).
+  successor every client computes — and the dead shard is skipped for
+  ``down_ttl`` seconds, after which the next routed request re-probes
+  it (fail-fast, no retries) and a recovered shard rejoins the ring
+  without a client restart;
+* a per-call ``deadline_ms`` propagates across fail-over hops: each hop
+  gets only the remaining budget, and an exhausted budget surfaces as
+  :class:`repro.client.ServerTimeout` instead of another hop.
 
 Results are byte-identical to in-process compilation: daemons serve the
 deterministic service shape, and cell payloads are JSON-exact scalars.
@@ -25,16 +30,20 @@ deterministic service shape, and cell payloads are JSON-exact scalars.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.api import CompilationResult, Pipeline
 from repro.client import (
     ClientError,
+    RetriesExhausted,
+    ServerTimeout,
     _UNSET,
     _request_mapping,
     connect,
     is_transient_error,
 )
+from repro.faults import plan as faults
 from repro.cluster.ring import HashRing
 from repro.sched.cache import CacheStats, compile_request_key
 
@@ -65,11 +74,13 @@ class ClusterClient:
         timeout: float = 120.0,
         retries: int = 3,
         replicas: int = 64,
+        down_ttl: float = 10.0,
     ) -> None:
         self.ring = HashRing(parse_addresses(addresses), replicas=replicas)
         self.token = token
         self.timeout = timeout
         self.retries = retries
+        self.down_ttl = down_ttl
         # key computation mirrors the daemons' (default pipeline, no
         # cache side effects beyond parsing)
         self._pipeline = Pipeline()
@@ -78,9 +89,12 @@ class ClusterClient:
         self._client_locks = {
             address: threading.Lock() for address in self.ring.nodes
         }
-        self._down: set[str] = set()
+        # address → monotonic timestamp of the down verdict; an entry
+        # older than down_ttl makes the shard a re-probe candidate
+        self._down: dict[str, float] = {}
         self.routed = {address: 0 for address in self.ring.nodes}
         self.failovers = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # routing keys
@@ -112,14 +126,14 @@ class ClusterClient:
 
     # ------------------------------------------------------------------
     # connections + fail-over
-    def _client(self, address: str):
+    def _client(self, address: str, probe: bool = False):
         with self._lock:
             client = self._clients.get(address)
         if client is not None:
             return client
         client = connect(
             address, fallback=False, timeout=self.timeout,
-            retries=self.retries, token=self.token,
+            retries=0 if probe else self.retries, token=self.token,
         )
         with self._lock:
             existing = self._clients.setdefault(address, client)
@@ -130,7 +144,7 @@ class ClusterClient:
     def _drop(self, address: str) -> None:
         with self._lock:
             client = self._clients.pop(address, None)
-            self._down.add(address)
+            self._down[address] = time.monotonic()
             if len(self._down) >= len(self.ring):
                 # the whole ring looks dead: forget the verdicts and let
                 # the next request probe everything again
@@ -138,20 +152,51 @@ class ClusterClient:
         if client is not None:
             client.close()
 
+    def _failover_eligible(self, error: BaseException) -> bool:
+        """Transient errors fail over; so does an exhausted connect
+        retry budget (the shard is down — a sibling may not be).
+        Deterministic failures (auth, protocol, compile errors, missed
+        deadlines) propagate."""
+        return is_transient_error(error) or isinstance(
+            error, RetriesExhausted
+        )
+
     def _call_routed(self, key: str, call):
         """Run ``call(client)`` on *key*'s primary shard, failing over
         along the ring on transient errors.  Deterministic failures
-        (auth, protocol, compile errors) propagate immediately."""
+        (auth, protocol, compile errors) propagate immediately.
+
+        A shard marked down is skipped until its verdict is
+        :attr:`down_ttl` seconds old; then it becomes a candidate again
+        and is re-probed fail-fast (``retries=0``) — success counts as
+        a recovery and clears the verdict."""
         route = self.ring.route(key)
-        candidates = [a for a in route if a not in self._down] or route
+        now = time.monotonic()
+        candidates: list[str] = []
+        probes: set[str] = set()
+        for address in route:
+            stamp = self._down.get(address)
+            if stamp is None:
+                candidates.append(address)
+            elif now - stamp >= self.down_ttl:
+                candidates.append(address)
+                probes.add(address)
+        if not candidates:
+            candidates = list(route)
         last_error: Exception | None = None
         for position, address in enumerate(candidates):
             try:
-                client = self._client(address)
+                if faults.enabled() and faults.fire(
+                    "cluster.shard_error"
+                ) is not None:
+                    raise ClientError(
+                        "server unreachable: injected shard fault"
+                    )
+                client = self._client(address, probe=address in probes)
                 with self._client_locks[address]:
                     result = call(client)
             except Exception as error:
-                if not is_transient_error(error):
+                if not self._failover_eligible(error):
                     raise
                 last_error = error
                 self._drop(address)
@@ -160,7 +205,9 @@ class ClusterClient:
                 self.routed[address] += 1
                 if position > 0:
                     self.failovers += 1
-                self._down.discard(address)
+                if address in self._down:
+                    del self._down[address]
+                    self.recoveries += 1
             return result
         raise ClientError(
             f"no cluster shard reachable for key {key[:40]!r}..."
@@ -182,16 +229,50 @@ class ClusterClient:
             source, name, machine, scheduler, strategy, registers, options
         ))
 
-    def compile_request(self, request: dict) -> CompilationResult:
-        key = self.shard_key(request)
-        return self._call_routed(
-            key, lambda client: client.compile_request(request)
-        )
+    @staticmethod
+    def _deadline_limit(deadline_ms: float | None) -> float | None:
+        """The absolute monotonic deadline for one routed call, fixed
+        once so every fail-over hop spends from the same budget."""
+        if deadline_ms is None or deadline_ms <= 0:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
 
-    def compile_many(self, requests) -> list[CompilationResult]:
+    @staticmethod
+    def _remaining_ms(limit: float | None, address: str) -> float | None:
+        if limit is None:
+            return None
+        remaining = (limit - time.monotonic()) * 1000.0
+        if remaining <= 0:
+            raise ServerTimeout(
+                "cluster deadline exhausted before dispatch to "
+                f"{address}"
+            )
+        return remaining
+
+    def compile_request(
+        self, request: dict, deadline_ms: float | None = None
+    ) -> CompilationResult:
+        key = self.shard_key(request)
+        limit = self._deadline_limit(deadline_ms)
+
+        def call(client):
+            return client.compile_request(
+                request,
+                deadline_ms=self._remaining_ms(
+                    limit, getattr(client, "address", "shard")
+                ),
+            )
+
+        return self._call_routed(key, call)
+
+    def compile_many(
+        self, requests, deadline_ms: float | None = None
+    ) -> list[CompilationResult]:
         """Scatter a batch across the shards (grouped by routing key),
-        gather back in request order."""
+        gather back in request order.  *deadline_ms* bounds each
+        routed group call, fail-over hops included."""
         requests = list(requests)
+        limit = self._deadline_limit(deadline_ms)
         groups: dict[str, list[int]] = {}
         for index, request in enumerate(requests):
             shard = self.ring.node_for(self.shard_key(request))
@@ -202,7 +283,13 @@ class ClusterClient:
             batch = [requests[i] for i in indexes]
             key = self.shard_key(batch[0])
             return self._call_routed(
-                key, lambda client: client.compile_many(batch)
+                key,
+                lambda client: client.compile_many(
+                    batch,
+                    deadline_ms=self._remaining_ms(
+                        limit, getattr(client, "address", "shard")
+                    ),
+                ),
             )
 
         with ThreadPoolExecutor(max_workers=max(1, len(groups))) as pool:
@@ -272,10 +359,18 @@ class ClusterClient:
                 ):
                     totals[name] = totals.get(name, 0) + value
         with self._lock:
+            now = time.monotonic()
             routing = {
                 "routed": dict(self.routed),
                 "failovers": self.failovers,
+                "recoveries": self.recoveries,
                 "down": sorted(self._down),
+                "down_ttl": self.down_ttl,
+                "probing": sorted(
+                    address
+                    for address, stamp in self._down.items()
+                    if now - stamp >= self.down_ttl
+                ),
             }
         return {
             "schema": "repro.cluster-stats/1",

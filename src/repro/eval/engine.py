@@ -57,7 +57,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.select import SelectionPolicy
-from repro.pool import shutdown_pool, worker_pool
+from repro.faults import plan as faults
+from repro.pool import imap_resilient, shutdown_pool, worker_pool
 from repro.eval.metrics import executed_cycles, memory_traffic
 from repro.graph.builder import ddg_from_source
 from repro.graph.ddg import DDG
@@ -286,9 +287,14 @@ def _cell_compile(cell: Cell, strategy: str, options: dict | None = None):
 # cell evaluation
 def evaluate_cell(cell: Cell) -> CellResult:
     """Evaluate one cell (runs inside a worker process)."""
+    if faults.enabled():
+        faults.maybe_kill("pool.kill_before_cell")
+        faults.maybe_hang("pool.hang_cell")
     before = STATS.snapshot()
     started = time.perf_counter()
     data = _EVALUATORS[cell.kind](cell)
+    if faults.enabled():
+        faults.maybe_kill("pool.kill_after_cell")
     return CellResult(
         cell=cell,
         data=data,
@@ -563,7 +569,7 @@ def run_cells(cells: list[Cell], jobs: int = 1) -> EngineRun:
     else:
         chunk = max(1, len(ordered) // (jobs * 4))
         results = list(
-            _worker_pool(jobs).map(evaluate_cell, ordered, chunksize=chunk)
+            imap_resilient(evaluate_cell, ordered, jobs, chunksize=chunk)
         )
     cache = CacheStats()
     for result in results:

@@ -1,0 +1,43 @@
+"""Deterministic fault injection (``REPRO_FAULTS``) and the chaos harness.
+
+See :mod:`repro.faults.plan` for the spec grammar and seam registry, and
+:mod:`repro.faults.chaos` for the ``repro chaos`` self-healing harness.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    SEAMS,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    active_plan,
+    enabled,
+    fire,
+    generation,
+    in_worker,
+    install,
+    maybe_errno,
+    maybe_hang,
+    maybe_kill,
+    reload_from_env,
+    set_worker_context,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "SEAMS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "active_plan",
+    "enabled",
+    "fire",
+    "generation",
+    "in_worker",
+    "install",
+    "maybe_errno",
+    "maybe_hang",
+    "maybe_kill",
+    "reload_from_env",
+    "set_worker_context",
+]

@@ -1,0 +1,275 @@
+"""Deterministic, seeded fault injection for the repro service stack.
+
+The production code is threaded with *named seams* — call sites such as
+``faults.maybe_kill("pool.kill_before_cell")`` — that are inert unless a
+:class:`FaultPlan` is installed.  A plan is activated either explicitly
+(``faults.install("seed=7;store.enospc:every=1")``) or via the
+``REPRO_FAULTS`` environment variable, which makes fault schedules reach
+subprocess pool workers and ``repro serve`` daemons without any plumbing.
+
+Spec grammar (entries separated by ``;``, parameters by ``:``)::
+
+    REPRO_FAULTS="seed=42;pool.kill_before_cell:nth=3:gen=0;store.enospc:every=1"
+
+Each entry names a seam plus trigger parameters:
+
+``nth=N``    fire only on the N-th hit of the seam (per process)
+``every=N``  fire on every N-th hit
+``times=N``  fire at most N times in total
+``prob=P``   fire with probability P (seeded, deterministic per seam)
+``gen=G``    fire only in pool *generation* G (a respawned pool bumps the
+             generation, so ``gen=0`` faults cannot re-kill retried work)
+``ms=N``     duration parameter for hang / slow seams (default 100)
+
+A rule with no trigger parameters fires on every hit.  All counters are
+per-process; pool workers re-read ``REPRO_FAULTS`` in their initializer so
+each worker gets fresh, deterministic counters.
+
+When no plan is installed every seam helper reduces to one dict lookup
+guarded by :func:`enabled` — effectively zero-cost.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every seam the production code is instrumented with.  Parsing a spec
+#: that names an unknown seam is an error, so typos fail loudly.
+SEAMS = frozenset(
+    {
+        # pool layer (fire only inside pool worker processes)
+        "pool.kill_before_cell",
+        "pool.kill_after_cell",
+        "pool.hang_cell",
+        # store layer
+        "store.enospc",
+        "store.erofs",
+        "store.torn_write",
+        "store.corrupt",
+        # server / protocol layer
+        "server.drop_connection",
+        "server.slow_response",
+        "server.truncate_response",
+        # cluster layer
+        "cluster.shard_error",
+        "cluster.auth_flap",
+    }
+)
+
+#: Seams that must only fire inside a pool worker process (never in the
+#: daemon / test parent, where a SIGKILL would take down the service).
+WORKER_ONLY_PREFIX = "pool."
+
+_PARAMS = frozenset({"nth", "every", "times", "prob", "gen", "ms"})
+
+
+class FaultSpecError(ValueError):
+    """Raised for malformed ``REPRO_FAULTS`` specs."""
+
+
+@dataclass
+class FaultRule:
+    """One parsed spec entry: a seam plus its trigger parameters."""
+
+    seam: str
+    nth: int | None = None
+    every: int | None = None
+    times: int | None = None
+    prob: float | None = None
+    gen: int | None = None
+    ms: float = 100.0
+    fired: int = 0
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def should_fire(self, hit: int, generation: int) -> bool:
+        if self.gen is not None and self.gen != generation:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.nth is not None and hit != self.nth:
+            return False
+        if self.every is not None and hit % self.every != 0:
+            return False
+        if self.prob is not None and self._rng.random() >= self.prob:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A seeded set of fault rules keyed by seam name."""
+
+    def __init__(self, rules: list[FaultRule], seed: int = 0, spec: str = "") -> None:
+        self.seed = seed
+        self.spec = spec
+        self.rules: dict[str, list[FaultRule]] = {}
+        self.hits: dict[str, int] = {}
+        for rule in rules:
+            # one independent, reproducible stream per rule: seeded by
+            # (plan seed, seam, rule position) so reordering unrelated
+            # entries never shifts another rule's probability draws
+            index = len(self.rules.get(rule.seam, ()))
+            rule._rng = random.Random(f"{seed}:{rule.seam}:{index}")
+            self.rules.setdefault(rule.seam, []).append(rule)
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string (see module docstring)."""
+        seed = 0
+        rules: list[FaultRule] = []
+        for raw_entry in text.split(";"):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            if entry.startswith("seed="):
+                try:
+                    seed = int(entry[5:])
+                except ValueError:
+                    raise FaultSpecError(f"invalid seed in fault spec: {entry!r}") from None
+                continue
+            parts = entry.split(":")
+            seam = parts[0].strip()
+            if seam not in SEAMS:
+                known = ", ".join(sorted(SEAMS))
+                raise FaultSpecError(f"unknown fault seam {seam!r} (known: {known})")
+            rule = FaultRule(seam=seam)
+            for part in parts[1:]:
+                if "=" not in part:
+                    raise FaultSpecError(f"malformed fault parameter {part!r} in {entry!r}")
+                name, _, value = part.partition("=")
+                name = name.strip()
+                if name not in _PARAMS:
+                    allowed = ", ".join(sorted(_PARAMS))
+                    raise FaultSpecError(
+                        f"unknown fault parameter {name!r} in {entry!r} (allowed: {allowed})"
+                    )
+                try:
+                    if name in ("prob", "ms"):
+                        setattr(rule, name, float(value))
+                    else:
+                        setattr(rule, name, int(value))
+                except ValueError:
+                    raise FaultSpecError(
+                        f"invalid value for {name!r} in {entry!r}: {value!r}"
+                    ) from None
+            if rule.prob is not None and not 0.0 <= rule.prob <= 1.0:
+                raise FaultSpecError(f"prob must be within [0, 1] in {entry!r}")
+            rules.append(rule)
+        return cls(rules, seed=seed, spec=text)
+
+    def fire(self, seam: str, generation: int = 0) -> FaultRule | None:
+        """Record a hit on *seam*; return the triggered rule, if any."""
+        rules = self.rules.get(seam)
+        if not rules:
+            return None
+        hit = self.hits.get(seam, 0) + 1
+        self.hits[seam] = hit
+        for rule in rules:
+            if rule.should_fire(hit, generation):
+                rule.fired += 1
+                return rule
+        return None
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "spec": self.spec,
+            "seams": sorted(self.rules),
+            "hits": dict(sorted(self.hits.items())),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Module-level plan state.
+#
+# ``_PLAN`` holds the active plan: ``_UNSET`` means "not decided yet — read
+# REPRO_FAULTS lazily on first use", ``None`` means explicitly disabled.
+
+_UNSET = object()
+_PLAN: object = _UNSET
+_IN_WORKER = False
+_GENERATION = 0
+
+
+def install(plan: "FaultPlan | str | None") -> FaultPlan | None:
+    """Install *plan* (a FaultPlan, a spec string, or None to disable)."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = FaultPlan.from_spec(plan)
+    _PLAN = plan
+    return plan
+
+
+def reload_from_env() -> FaultPlan | None:
+    """Re-read ``REPRO_FAULTS`` (used by pool worker initializers)."""
+    global _PLAN
+    spec = os.environ.get(ENV_VAR, "").strip()
+    _PLAN = FaultPlan.from_spec(spec) if spec else None
+    return _PLAN
+
+
+def active_plan() -> FaultPlan | None:
+    """The active plan, reading ``REPRO_FAULTS`` on first use."""
+    if _PLAN is _UNSET:
+        return reload_from_env()
+    return _PLAN  # type: ignore[return-value]
+
+
+def enabled() -> bool:
+    """Cheap guard for instrumented call sites."""
+    if _PLAN is _UNSET:
+        return active_plan() is not None
+    return _PLAN is not None
+
+
+def set_worker_context(generation: int, in_worker: bool = True) -> None:
+    """Mark this process as a pool worker of the given fault generation."""
+    global _IN_WORKER, _GENERATION
+    _IN_WORKER = in_worker
+    _GENERATION = generation
+
+
+def generation() -> int:
+    return _GENERATION
+
+
+def in_worker() -> bool:
+    return _IN_WORKER
+
+
+def fire(seam: str) -> FaultRule | None:
+    """Hit *seam*; return the triggered rule or None.
+
+    ``pool.*`` seams are suppressed outside pool worker processes so a kill
+    fault can never take down the daemon or test parent by accident.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    if seam.startswith(WORKER_ONLY_PREFIX) and not _IN_WORKER:
+        return None
+    return plan.fire(seam, generation=_GENERATION)
+
+
+def maybe_kill(seam: str) -> None:
+    """SIGKILL the current process if *seam* triggers (worker seams only)."""
+    if fire(seam) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_hang(seam: str) -> None:
+    """Sleep for the rule's ``ms`` if *seam* triggers."""
+    rule = fire(seam)
+    if rule is not None:
+        time.sleep(rule.ms / 1000.0)
+
+
+def maybe_errno(seam: str, code: int) -> None:
+    """Raise ``OSError(code)`` if *seam* triggers."""
+    if fire(seam) is not None:
+        raise OSError(code, os.strerror(code), "<fault-injected>")

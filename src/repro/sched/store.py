@@ -41,11 +41,14 @@ store through :func:`worker_initializer`.
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import os
 import pickle
 import tempfile
 from pathlib import Path
+
+from repro.faults import plan as faults
 
 #: Bump to invalidate every existing on-disk entry (the version is part
 #: of the hashed key material *and* checked in the entry header).
@@ -53,6 +56,18 @@ STORE_VERSION = 1
 
 _MAGIC = b"repro-store\x00"
 _EVICT_EVERY = 64
+
+#: Consecutive ``put`` I/O failures before the store flips to degraded
+#: (in-memory-only) mode instead of hammering a dead disk.
+_DEGRADE_AFTER = 3
+#: Entry cap for the degraded-mode in-memory dict (FIFO eviction).
+_MEMORY_CAP = 1024
+
+#: mkdir errors that mean "this disk is unusable, degrade" rather than
+#: "the configuration is wrong, raise" (e.g. the path names a file).
+_DEGRADE_ERRNOS = frozenset(
+    {errno.EROFS, errno.ENOSPC, errno.EACCES, errno.EPERM}
+)
 
 
 class ScheduleStore:
@@ -74,7 +89,27 @@ class ScheduleStore:
         self.max_bytes = max_bytes
         self.version = version
         self._puts_since_evict = 0
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.write_errors = 0
+        self._consecutive_write_errors = 0
+        self._degraded = False
+        self._memory: dict[tuple, bytes] = {}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            # A read-only or full disk degrades the store to memory-only
+            # operation; genuine configuration errors (the path names a
+            # file, a missing parent device, …) still raise so the CLI
+            # can report them.
+            if error.errno not in _DEGRADE_ERRNOS:
+                raise
+            self.write_errors += 1
+            self._degraded = True
+
+    @property
+    def degraded(self) -> bool:
+        """Whether persistent writes have been abandoned for this store
+        (entries now live in a bounded in-memory dict only)."""
+        return self._degraded
 
     # ------------------------------------------------------------------
     def path_for(self, namespace: str, key: tuple) -> Path:
@@ -91,6 +126,13 @@ class ScheduleStore:
         Missing, truncated, corrupt and wrong-version entries are all
         misses; this never raises.
         """
+        if self._memory:
+            hit = self._memory.get((namespace, key))
+            if hit is not None:
+                try:
+                    return pickle.loads(hit)
+                except Exception:
+                    return None
         path = self.path_for(namespace, key)
         try:
             blob = path.read_bytes()
@@ -113,19 +155,34 @@ class ScheduleStore:
     def put(self, namespace: str, key: tuple, value) -> bool:
         """Persist *value* under *key* atomically (write-temp + rename).
 
-        Returns whether the entry was written; I/O or pickling failures
+        Returns whether the entry was stored; I/O and pickling failures
         are swallowed (the store is an accelerator, never a correctness
-        dependency).
+        dependency).  :data:`_DEGRADE_AFTER` consecutive I/O failures
+        flip the store into degraded mode: entries then land in a
+        bounded in-memory dict, so the memo layer survives a disk that
+        filled up or went read-only mid-run.
         """
-        path = self.path_for(namespace, key)
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            blob = (
-                _MAGIC
-                + self.version.to_bytes(4, "big")
-                + hashlib.sha256(payload).digest()
-                + payload
-            )
+        except Exception:
+            return False
+        if self._degraded:
+            return self._memory_put(namespace, key, payload)
+        path = self.path_for(namespace, key)
+        blob = (
+            _MAGIC
+            + self.version.to_bytes(4, "big")
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        try:
+            if faults.enabled():
+                faults.maybe_errno("store.enospc", errno.ENOSPC)
+                faults.maybe_errno("store.erofs", errno.EROFS)
+                if faults.fire("store.torn_write") is not None:
+                    blob = blob[: max(1, len(blob) // 2)]
+                elif faults.fire("store.corrupt") is not None:
+                    blob = blob[:-1] + bytes([blob[-1] ^ 0xFF])
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, temp = tempfile.mkstemp(
                 dir=path.parent, prefix=path.name, suffix=".tmp"
@@ -138,12 +195,29 @@ class ScheduleStore:
                 with contextlib.suppress(OSError):
                     os.unlink(temp)
                 raise
+        except OSError:
+            self.write_errors += 1
+            self._consecutive_write_errors += 1
+            if self._consecutive_write_errors >= _DEGRADE_AFTER:
+                self._degraded = True
+                return self._memory_put(namespace, key, payload)
+            return False
         except Exception:
             return False
+        self._consecutive_write_errors = 0
         self._puts_since_evict += 1
         if self._puts_since_evict >= _EVICT_EVERY:
             self._puts_since_evict = 0
             self.evict()
+        return True
+
+    def _memory_put(self, namespace: str, key: tuple, payload: bytes) -> bool:
+        """Degraded-mode write: keep the pickled payload in a bounded
+        in-memory dict (FIFO eviction) instead of on disk."""
+        memory_key = (namespace, key)
+        if memory_key not in self._memory and len(self._memory) >= _MEMORY_CAP:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[memory_key] = payload
         return True
 
     # ------------------------------------------------------------------
@@ -245,6 +319,9 @@ class ScheduleStore:
             "total_bytes": total_bytes,
             "max_bytes": self.max_bytes,
             "namespaces": namespaces,
+            "degraded": self._degraded,
+            "write_errors": self.write_errors,
+            "memory_entries": len(self._memory),
         }
 
 

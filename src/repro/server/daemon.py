@@ -39,8 +39,10 @@ import signal
 import socketserver
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.faults import plan as faults
 from repro.server import protocol
 from repro.server.service import CompileService
 
@@ -61,8 +63,20 @@ class _LineHandler(socketserver.StreamRequestHandler):
                 shutdown=lambda: pending_shutdown.append(True),
                 token=self.server.token,
             )
+            encoded = protocol.encode(response)
+            if faults.enabled():
+                if faults.fire("server.drop_connection") is not None:
+                    return  # simulate a server dying before responding
+                rule = faults.fire("server.slow_response")
+                if rule is not None:
+                    time.sleep(rule.ms / 1000.0)
+                if faults.fire("server.truncate_response") is not None:
+                    with contextlib.suppress(OSError):
+                        self.wfile.write(encoded[: max(1, len(encoded) // 2)])
+                        self.wfile.flush()
+                    return  # half a line, then EOF — a torn response
             try:
-                self.wfile.write(protocol.encode(response))
+                self.wfile.write(encoded)
                 self.wfile.flush()
             except OSError:
                 return  # client went away mid-response
@@ -183,18 +197,35 @@ class _HTTPHandler(BaseHTTPRequestHandler):
         if not self._authorized():
             return
         try:
+            # per-request deadline rides in a header so the JSON body
+            # stays exactly the compile-request mapping
+            deadline_header = self.headers.get("X-Repro-Deadline-Ms")
+            deadline_ms = None
+            if deadline_header:
+                try:
+                    deadline_ms = float(deadline_header)
+                except ValueError:
+                    raise ValueError(
+                        "X-Repro-Deadline-Ms must be a number"
+                    ) from None
             if self.path == "/compile":
                 request = self._body()
                 if not isinstance(request, dict):
                     raise ValueError("body must be one request mapping")
-                self._send(200, service.compile(request).to_json())
+                self._send(
+                    200,
+                    service.compile(
+                        request, deadline_ms=deadline_ms
+                    ).to_json(),
+                )
             elif self.path == "/compile_many":
                 requests = self._body()
                 if not isinstance(requests, list):
                     raise ValueError("body must be a list of mappings")
                 self._send(
-                    200, {"results": [r.to_json() for r in
-                                      service.compile_many(requests)]}
+                    200,
+                    {"results": [r.to_json() for r in service.compile_many(
+                        requests, deadline_ms=deadline_ms)]},
                 )
             elif self.path == "/cells":
                 cells = self._body()
@@ -210,7 +241,13 @@ class _HTTPHandler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as error:
             self._send(400, {"error": str(error)})
         except Exception as error:  # compile failures must not kill HTTP
-            self._send(500, {"error": str(error)})
+            kind = protocol.error_kind(error)
+            if kind == "timeout":
+                self._send(504, {"error": str(error), "kind": kind})
+            elif kind is not None:  # busy / shutting_down
+                self._send(503, {"error": str(error), "kind": kind})
+            else:
+                self._send(500, {"error": str(error)})
 
 
 class CompileHTTPServer(ThreadingHTTPServer):
@@ -321,6 +358,7 @@ def serve(
     tcp=None,
     token: str | None = None,
     log=None,
+    drain_timeout: float = 30.0,
 ) -> int:
     """Run the daemon until EOF (stdio), SIGTERM/SIGINT, or a
     ``shutdown`` request on any transport.  Starts whatever transports
@@ -328,7 +366,13 @@ def serve(
     ``"[HOST:]PORT"`` string / port / ``(host, port)`` pair; *token*
     makes the socket, TCP and HTTP transports demand the shared token
     on every request (stdio is exempt — it is the operator's own
-    pipe).  Returns the process exit code (0 on a clean shutdown)."""
+    pipe).  Returns the process exit code (0 on a clean shutdown).
+
+    Shutdown is a graceful drain: on SIGTERM/SIGINT the service first
+    stops accepting new requests (they get a typed ``shutting_down``
+    error), already-accepted work is finished and its responses are
+    flushed (bounded by *drain_timeout* seconds), and only then are the
+    transports torn down."""
     log = log if log is not None else (
         lambda message: print(message, file=sys.stderr, flush=True)
     )
@@ -412,6 +456,12 @@ def serve(
         for signum, handler in previous.items():
             with contextlib.suppress(ValueError):
                 signal.signal(signum, handler)
+        # graceful drain: reject new submissions, let in-flight batches
+        # finish and their handler threads flush responses, then tear
+        # the transports down
+        service.drain()
+        if not service.wait_idle(timeout=drain_timeout):
+            log("repro serve: drain timed out; dropping remaining work")
         for server in servers:
             server.shutdown()
             server.server_close()

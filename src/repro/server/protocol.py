@@ -85,8 +85,49 @@ def ok_response(request_id, **payload) -> dict:
     return {"id": request_id, "ok": True, **payload}
 
 
-def error_response(request_id, message: str) -> dict:
-    return {"id": request_id, "ok": False, "error": str(message)}
+def error_response(request_id, message: str, kind: "str | None" = None) -> dict:
+    """An ``ok: false`` response.  Generic failures keep the exact
+    legacy shape; typed failures (*kind* of ``timeout`` / ``busy`` /
+    ``shutting_down``) additionally carry a ``"kind"`` field so clients
+    can react without parsing the message text."""
+    document = {"id": request_id, "ok": False, "error": str(message)}
+    if kind is not None:
+        document["kind"] = kind
+    return document
+
+
+def error_kind(error: BaseException) -> "str | None":
+    """The protocol ``kind`` tag for a typed service failure (None for
+    every generic error)."""
+    from repro.server.service import (
+        ServiceBusy,
+        ServiceClosed,
+        ServiceTimeout,
+    )
+
+    if isinstance(error, ServiceTimeout):
+        return "timeout"
+    if isinstance(error, ServiceBusy):
+        return "busy"
+    if isinstance(error, ServiceClosed):
+        # covers ServiceShuttingDown too: a daemon whose service is
+        # closed or draining should be routed away from, so both states
+        # surface as the transient "shutting_down" kind
+        return "shutting_down"
+    return None
+
+
+def parse_deadline_ms(message: dict) -> "float | None":
+    """The optional ``deadline_ms`` field of a protocol line (a positive
+    number of milliseconds), validated."""
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    if not isinstance(deadline_ms, (int, float)) or isinstance(
+        deadline_ms, bool
+    ) or deadline_ms <= 0:
+        raise ValueError("'deadline_ms' must be a positive number")
+    return float(deadline_ms)
 
 
 def handle_line(
@@ -115,7 +156,8 @@ def handle_line(
             request = message.get("request")
             if not isinstance(request, dict):
                 raise ValueError("'compile' needs a 'request' mapping")
-            result = service.compile(request)
+            deadline_ms = parse_deadline_ms(message)
+            result = service.compile(request, deadline_ms=deadline_ms)
             return ok_response(request_id, result=result.to_json())
         if op == "compile_many":
             requests = message.get("requests")
@@ -125,7 +167,8 @@ def handle_line(
                 raise ValueError(
                     "'compile_many' needs a 'requests' list of mappings"
                 )
-            results = service.compile_many(requests)
+            deadline_ms = parse_deadline_ms(message)
+            results = service.compile_many(requests, deadline_ms=deadline_ms)
             return ok_response(
                 request_id, results=[result.to_json() for result in results]
             )
@@ -149,4 +192,4 @@ def handle_line(
             f"unknown op {op!r} (expected one of: {', '.join(OPS)})"
         )
     except Exception as error:
-        return error_response(request_id, error)
+        return error_response(request_id, error, kind=error_kind(error))

@@ -65,14 +65,32 @@ class ServiceClosed(RuntimeError):
     """Raised by :meth:`CompileService.submit` after :meth:`close`."""
 
 
+class ServiceShuttingDown(ServiceClosed):
+    """Raised by :meth:`CompileService.submit` while draining: the
+    daemon is finishing in-flight work but accepts nothing new."""
+
+
+class ServiceBusy(RuntimeError):
+    """Raised by :meth:`CompileService.submit` when the bounded request
+    queue is full — explicit load-shedding instead of unbounded
+    buffering (clients should back off and retry elsewhere)."""
+
+
+class ServiceTimeout(TimeoutError):
+    """A request's ``deadline_ms`` expired before (or while) it was
+    compiled.  A ``TimeoutError`` subclass, so generic timeout handling
+    catches it too."""
+
+
 class _Inflight:
     """One queued-or-executing unique request and its shared future."""
 
-    __slots__ = ("future", "request")
+    __slots__ = ("future", "request", "deadline")
 
-    def __init__(self, request: dict) -> None:
+    def __init__(self, request: dict, deadline: float | None = None) -> None:
         self.future: Future = Future()
         self.request = request
+        self.deadline = deadline
 
 
 class CompileService:
@@ -107,6 +125,7 @@ class CompileService:
         jobs: int = 1,
         batch_window: float = 0.002,
         max_batch: int = 64,
+        max_queue: int = 256,
         metrics: "MetricsRecorder | str | None" = None,
         start: bool = True,
     ) -> None:
@@ -114,6 +133,7 @@ class CompileService:
         self.jobs = max(1, int(jobs))
         self.batch_window = batch_window
         self.max_batch = max(1, int(max_batch))
+        self.max_queue = max(1, int(max_queue))
         if isinstance(metrics, MetricsRecorder):
             self.metrics = metrics
         else:  # None → in-memory only; a path → SQLite-backed
@@ -129,6 +149,7 @@ class CompileService:
         self._queue: deque[tuple] = deque()
         self._inflight: dict[tuple, _Inflight] = {}
         self._closed = False
+        self._draining = False
         self._dispatcher: threading.Thread | None = None
         # lifetime baselines: /stats reports movement since construction
         self._cache_base = STATS.snapshot()
@@ -141,6 +162,8 @@ class CompileService:
         self.errors_total = 0
         self.cells_total = 0
         self.cell_batches_total = 0
+        self.shed_total = 0
+        self.timeouts_total = 0
         if self.jobs > 1:
             # warm the shared pool under this pipeline's store so the
             # first batch pays no worker spin-up
@@ -166,6 +189,28 @@ class CompileService:
                 daemon=True,
             )
             self._dispatcher.start()
+
+    def drain(self) -> None:
+        """Enter drain mode: new :meth:`submit` calls fail with
+        :class:`ServiceShuttingDown` while already-queued and in-flight
+        work still completes.  ``repro serve`` drains on SIGTERM and
+        only then tears the transports down, so a graceful stop never
+        drops accepted work."""
+        with self._lock:
+            self._draining = True
+            self._lock.notify_all()
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no work is queued or in flight (or *timeout*
+        elapses); returns whether the service went idle."""
+        limit = time.monotonic() + timeout
+        while time.monotonic() < limit:
+            with self._lock:
+                if not self._queue and not self._inflight:
+                    return True
+            time.sleep(0.02)
+        with self._lock:
+            return not self._queue and not self._inflight
 
     def close(self) -> None:
         """Stop accepting work, finish the queue, stop the dispatcher.
@@ -205,29 +250,57 @@ class CompileService:
             ),
         )
 
-    def submit(self, request: dict) -> Future:
+    def submit(self, request: dict, deadline_ms: float | None = None) -> Future:
         """Enqueue one compile request mapping; returns a future
         resolving to the service-shaped
         :class:`~repro.api.CompilationResult`.
 
         Raises :class:`ValueError` immediately on a malformed request
         (unknown keys/machine/scheduler/strategy, unparsable loop) —
-        bad requests never reach the batch — and :class:`ServiceClosed`
-        after :meth:`close`.
+        bad requests never reach the batch — :class:`ServiceClosed`
+        after :meth:`close`, :class:`ServiceShuttingDown` while
+        draining, and :class:`ServiceBusy` when the bounded queue
+        (:attr:`max_queue` unique pending requests) is full.
+
+        *deadline_ms* bounds queue wait: a request still queued when
+        its deadline expires fails with :class:`ServiceTimeout` instead
+        of occupying a batch slot.
         """
         key = self.request_key(request)  # validates; may raise
         started = time.perf_counter()
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None and deadline_ms > 0
+            else None
+        )
         with self._lock:
             if self._closed:
                 raise ServiceClosed("compile service is shut down")
+            if self._draining:
+                raise ServiceShuttingDown(
+                    "compile service is draining for shutdown"
+                )
             self.requests_total += 1
             self.metrics.count("requests")
             entry = self._inflight.get(key)
             if entry is not None:
                 self.coalesced_total += 1
                 self.metrics.count("coalesced")
+                # a coalesced joiner must never shorten the shared
+                # computation's life: keep the most permissive deadline
+                if entry.deadline is not None and (
+                    deadline is None or deadline > entry.deadline
+                ):
+                    entry.deadline = deadline
             else:
-                entry = _Inflight(dict(request))
+                if len(self._queue) >= self.max_queue:
+                    self.shed_total += 1
+                    self.metrics.count("shed")
+                    raise ServiceBusy(
+                        f"compile queue full ({self.max_queue} pending); "
+                        "request shed"
+                    )
+                entry = _Inflight(dict(request), deadline=deadline)
                 self._inflight[key] = entry
                 self._queue.append(key)
                 self._lock.notify_all()
@@ -240,15 +313,63 @@ class CompileService:
         )
         return entry.future
 
-    def compile(self, request: dict, timeout: float | None = None):
-        """:meth:`submit` and wait: one service-shaped result."""
-        return self.submit(request).result(timeout=timeout)
+    def compile(
+        self,
+        request: dict,
+        timeout: float | None = None,
+        deadline_ms: float | None = None,
+    ):
+        """:meth:`submit` and wait: one service-shaped result.
 
-    def compile_many(self, requests, timeout: float | None = None) -> list:
+        With *deadline_ms* the wait itself is bounded too, and a missed
+        deadline surfaces as :class:`ServiceTimeout`."""
+        future = self.submit(request, deadline_ms=deadline_ms)
+        if deadline_ms is not None and deadline_ms > 0:
+            wait = deadline_ms / 1000.0
+            timeout = wait if timeout is None else min(timeout, wait)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError as error:
+            if isinstance(error, ServiceTimeout) or deadline_ms is None:
+                raise
+            self._count_timeout()
+            raise ServiceTimeout(
+                f"deadline of {deadline_ms:g} ms exceeded waiting for result"
+            ) from None
+
+    def compile_many(
+        self,
+        requests,
+        timeout: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> list:
         """Submit a client batch and wait; results in request order.
         Duplicates inside the batch coalesce onto one computation."""
-        futures = [self.submit(request) for request in requests]
-        return [future.result(timeout=timeout) for future in futures]
+        futures = [
+            self.submit(request, deadline_ms=deadline_ms)
+            for request in requests
+        ]
+        if deadline_ms is not None and deadline_ms > 0:
+            wait = deadline_ms / 1000.0
+            timeout = wait if timeout is None else min(timeout, wait)
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result(timeout=timeout))
+            except TimeoutError as error:
+                if isinstance(error, ServiceTimeout) or deadline_ms is None:
+                    raise
+                self._count_timeout()
+                raise ServiceTimeout(
+                    f"deadline of {deadline_ms:g} ms exceeded waiting "
+                    "for batch results"
+                ) from None
+        return results
+
+    def _count_timeout(self) -> None:
+        with self._lock:
+            self.timeouts_total += 1
+        self.metrics.count("timeouts")
 
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -261,12 +382,29 @@ class CompileService:
             # one short window for concurrent clients to join the batch
             if self.batch_window > 0:
                 time.sleep(self.batch_window)
+            expired: list[tuple] = []
             with self._lock:
                 keys = [
                     self._queue.popleft()
                     for _ in range(min(len(self._queue), self.max_batch))
                 ]
-                batch = [(key, self._inflight[key]) for key in keys]
+                now = time.monotonic()
+                batch = []
+                for key in keys:
+                    entry = self._inflight[key]
+                    if entry.deadline is not None and now > entry.deadline:
+                        self._inflight.pop(key, None)
+                        self.timeouts_total += 1
+                        expired.append((key, entry))
+                    else:
+                        batch.append((key, entry))
+            for _, entry in expired:
+                self.metrics.count("timeouts")
+                entry.future.set_exception(
+                    ServiceTimeout(
+                        "deadline exceeded before compilation started"
+                    )
+                )
             if batch:
                 self._run_batch(batch)
             self.metrics.maybe_flush()
@@ -361,9 +499,15 @@ class CompileService:
         with self._lock:
             queued = len(self._queue)
             inflight = len(self._inflight)
+        if self._closed:
+            status = "closed"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
         return {
             "schema": HEALTH_SCHEMA,
-            "status": "closed" if self._closed else "ok",
+            "status": status,
             "uptime_seconds": time.time() - self.started_at,
             "jobs": self.jobs,
             "queued": queued,
@@ -387,6 +531,9 @@ class CompileService:
                 "errors": self.errors_total,
                 "cells": self.cells_total,
                 "cell_batches": self.cell_batches_total,
+                "shed": self.shed_total,
+                "timeouts": self.timeouts_total,
+                "max_queue": self.max_queue,
                 "queued": len(self._queue),
                 "inflight": len(self._inflight),
             }

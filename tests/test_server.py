@@ -307,7 +307,7 @@ class TestSocketDaemon:
             assert stats["service"]["requests"] >= 1
             # the pool block reports process-wide pool state (other
             # tests may have left one warm); only its shape is ours
-            assert set(stats["pool"]) == {"alive", "jobs", "store"}
+            assert set(stats["pool"]) == {"alive", "jobs", "store", "worker_restarts", "tasks_retried"}
             with pytest.raises(ClientError, match="unknown strategy"):
                 client.compile(FIG2, strategy="bogus")
             # the connection survives the error response
