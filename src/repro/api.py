@@ -59,6 +59,8 @@ from repro.sched.base import ModuloScheduler
 from repro.sched.cache import cached_mii
 from repro.sched.registry import canonical_name, create_scheduler
 from repro.sched.schedule import Schedule
+from repro.trace import context as trace_context
+from repro.trace import profile as trace_profile
 
 JSON_SCHEMA = "repro.compile/1"
 
@@ -225,6 +227,26 @@ def _run(
     options: dict | None,
     verify: bool = False,
 ) -> CompilationResult:
+    with trace_profile.profiled_span(
+        "compile",
+        "worker",
+        attrs={"loop": ddg.name, "strategy": strategy_name.lower()},
+    ):
+        return _run_impl(
+            ddg, machine, scheduler, strategy_name, registers, options,
+            verify=verify,
+        )
+
+
+def _run_impl(
+    ddg: DDG,
+    machine: MachineConfig,
+    scheduler: ModuloScheduler,
+    strategy_name: str,
+    registers: int | None,
+    options: dict | None,
+    verify: bool = False,
+) -> CompilationResult:
     strategy = get_strategy(strategy_name)
     started = time.perf_counter()
     work_before = WORK.snapshot()
@@ -275,7 +297,8 @@ def _run(
     if verify:
         from repro.verify import VerificationError, verify_result
 
-        oracle = verify_result(result)
+        with trace_profile.phase("verify"):
+            oracle = verify_result(result)
         if not oracle.ok:
             raise VerificationError(ddg.name, oracle)
         result.verified = True
@@ -433,7 +456,10 @@ class Pipeline:
         Accepted keys: ``loop`` (required; source text or DDG), ``name``,
         ``machine``, ``scheduler``, ``strategy``, ``registers``,
         ``options``.  Anything else is an error — silently ignoring a
-        key would change the request's meaning.
+        key would change the request's meaning.  (``trace`` is an
+        internal pass-through: the service injects the propagated trace
+        context there for its pool workers; it never affects the result
+        and is stripped before compilation.)
 
         This is also the server's submit-time validator: a request that
         normalizes cleanly here is guaranteed to batch cleanly through
@@ -446,7 +472,7 @@ class Pipeline:
         unknown = sorted(
             set(request)
             - {"loop", "name", "machine", "scheduler", "strategy",
-               "registers", "options"}
+               "registers", "options", "trace"}
         )
         if unknown:
             raise ValueError(
@@ -461,7 +487,7 @@ class Pipeline:
         options = request.get("options")
         if strategy is not None:
             get_strategy(strategy)  # fail fast, before any pool spin-up
-        return {
+        normalized = {
             "loop": request["loop"],
             "name": request.get("name") or "loop",
             "machine": self.machine if machine is None
@@ -473,6 +499,9 @@ class Pipeline:
             "registers": request.get("registers", self.registers),
             "options": dict(self.options if options is None else options),
         }
+        if request.get("trace") is not None:
+            normalized["trace"] = request["trace"]
+        return normalized
 
     def results(self, requests, jobs: int = 1):
         """Lazily compile a batch, yielding one
@@ -563,15 +592,20 @@ class Pipeline:
 def _service_compile(request: dict) -> CompilationResult:
     """Run one normalized batch request (possibly inside a pool worker)
     and return the deterministic service shape of the result."""
-    result = _run(
-        _as_ddg(request["loop"], request["name"]),
-        request["machine"],
-        request["scheduler"],
-        request["strategy"],
-        request["registers"],
-        request["options"],
-        verify=request.get("verify", False),
-    )
+    request = dict(request)
+    context = trace_context.TraceContext.from_wire(request.pop("trace", None))
+    scope = (trace_context.activate(context) if context is not None
+             else contextlib.nullcontext())
+    with scope:
+        result = _run(
+            _as_ddg(request["loop"], request["name"]),
+            request["machine"],
+            request["scheduler"],
+            request["strategy"],
+            request["registers"],
+            request["options"],
+            verify=request.get("verify", False),
+        )
     # The batch contract is determinism (jobs=1 == jobs=N, run-to-run
     # byte-identical JSON), so per-request wall clock is dropped along
     # with the unpicklable-in-spirit heavyweight artifacts.  The work

@@ -57,7 +57,14 @@ Subcommands:
   through a sharded daemon cluster (:mod:`repro.cluster`), one shard
   per consistent-hash key range, byte-identical JSON either way;
 * ``cluster stats|top`` — per-shard + aggregated telemetry of a
-  running cluster, and the persisted metrics time series.
+  running cluster, and the persisted metrics time series (``cluster
+  stats --prune-older-than DAYS`` prunes old rows offline);
+* ``sweep --trace PATH`` / ``serve --trace`` — record end-to-end
+  request traces (client, server, service, worker and per-phase
+  spans) without changing any output byte;
+* ``trace show|top|slow`` — inspect persisted traces: span trees,
+  the aggregate phase profile, the slowest spans (``--json`` emits
+  the ``repro.trace/1`` document).  See ``docs/OBSERVABILITY.md``.
 
 ``compile``, ``sweep`` and ``serve`` take ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``): a persistent :mod:`repro.sched.store` directory
@@ -300,6 +307,22 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _flush_sweep_trace(path: str) -> None:
+    """Persist every span a traced sweep produced — pool-worker buffers
+    first, then this process's own — into the ``--trace`` database."""
+    from repro import pool
+    from repro import trace as trace_mod
+    from repro.metrics import MetricsDB
+
+    spans = list(pool.drain_worker_spans())
+    spans.extend(trace_mod.drain_spans())
+    if not spans:
+        return
+    with MetricsDB(path) as db:
+        db.record_spans(spans)
+    print(f"[{len(spans)} trace span(s) written to {path}]")
+
+
 def _cmd_sweep(args) -> int:
     from repro.eval.engine import run_sweep
     from repro.workloads import (
@@ -342,6 +365,16 @@ def _cmd_sweep(args) -> int:
             "load_mix": args.load_mix,
             "store_mix": args.store_mix,
         }
+    if args.trace:
+        import os
+
+        from repro import trace as trace_mod
+
+        # The env var (not just the in-process switch) so forked pool
+        # workers inherit tracing; worker spans come back through the
+        # pool's span-drain probes after the run.
+        os.environ[trace_mod.ENV_VAR] = "1"
+        trace_mod.enable(True)
     cluster = None
     if args.connect:
         if args.cache_dir is not None or args.max_bytes is not None:
@@ -384,6 +417,8 @@ def _cmd_sweep(args) -> int:
     finally:
         if cluster is not None:
             cluster.close()
+        if args.trace:
+            _flush_sweep_trace(args.trace)
     print(report.render())
     if args.json_out:
         with open(args.json_out, "w") as handle:
@@ -577,6 +612,12 @@ def _cmd_serve(args) -> int:
                 " (expected [HOST:]PORT)"
             )
     token = args.token or os.environ.get("REPRO_TOKEN") or None
+    if args.trace:
+        from repro import trace as trace_mod
+
+        # env var too, so pool workers forked by batches inherit it
+        os.environ[trace_mod.ENV_VAR] = "1"
+        trace_mod.enable(True)
     store = _cache_from(args)
     metrics = args.metrics
     if metrics is None and store is not None:
@@ -611,10 +652,112 @@ def _cluster_client_from(args):
         raise SystemExit(f"repro cluster: {error}")
 
 
+def _trace_db_paths(args) -> list[str]:
+    """Resolve ``--metrics`` / ``--cache-dir`` (both repeatable) into
+    existing metrics-database paths, erroring on a missing file so a
+    typo reads as a typo and not as an empty trace set."""
+    import pathlib
+
+    from repro.metrics import metrics_path
+
+    paths = list(args.metrics or [])
+    paths.extend(
+        str(metrics_path(directory)) for directory in args.cache_dir or []
+    )
+    if not paths:
+        raise SystemExit(
+            "repro trace: pass --metrics PATH and/or --cache-dir DIR"
+            " (repeatable; spans from every database are merged)"
+        )
+    for path in paths:
+        if not pathlib.Path(path).is_file():
+            raise SystemExit(
+                f"repro trace: no metrics database at {path!r}"
+            )
+    return paths
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace import report as trace_report
+
+    spans = trace_report.load_spans(_trace_db_paths(args))
+    if args.json:
+        print(trace_report.export_text(spans))
+        return 0
+    if args.trace_command == "show":
+        print(
+            trace_report.render_show(
+                spans, trace_id=args.trace_id, limit=args.limit
+            )
+        )
+        return 0
+    if args.trace_command == "top":
+        print(trace_report.render_top(spans))
+        return 0
+    if args.trace_command == "slow":
+        print(
+            trace_report.render_slow(
+                spans, limit=args.limit, layer=args.layer
+            )
+        )
+        return 0
+    raise SystemExit(f"repro trace: unknown action {args.trace_command!r}")
+
+
+def _cmd_cluster_prune(args) -> int:
+    """``repro cluster stats --prune-older-than DAYS``: offline
+    retention pruning of persisted metrics databases."""
+    import pathlib
+    import time
+
+    from repro.metrics import MetricsDB, metrics_path
+
+    if args.prune_older_than <= 0:
+        raise SystemExit(
+            "repro cluster stats: --prune-older-than must be a positive"
+            " number of days"
+        )
+    paths = list(args.metrics or [])
+    paths.extend(
+        str(metrics_path(directory)) for directory in args.cache_dir or []
+    )
+    if not paths:
+        raise SystemExit(
+            "repro cluster stats: --prune-older-than needs --metrics PATH"
+            " and/or --cache-dir DIR (repeatable) naming the shard"
+            " databases to prune"
+        )
+    cutoff = time.time() - args.prune_older_than * 86400.0
+    for path in paths:
+        if not pathlib.Path(path).is_file():
+            raise SystemExit(
+                f"repro cluster stats: no metrics database at {path!r}"
+            )
+        with MetricsDB(path) as db:
+            victims = db.prune_older_than(cutoff, dry_run=args.dry_run)
+        total = sum(victims.values())
+        detail = " ".join(
+            f"{table}={victims[table]}" for table in sorted(victims)
+        )
+        if args.dry_run:
+            print(
+                f"dry run on {path}: {total} row(s) older than"
+                f" {args.prune_older_than:g} day(s) would go ({detail})"
+            )
+        else:
+            print(
+                f"pruned {path}: {total} row(s) older than"
+                f" {args.prune_older_than:g} day(s) deleted ({detail})"
+            )
+    return 0
+
+
 def _cmd_cluster(args) -> int:
     import json as json_mod
 
     if args.cluster_command == "stats":
+        if args.prune_older_than is not None:
+            return _cmd_cluster_prune(args)
         client = _cluster_client_from(args)
         try:
             document = client.stats()
@@ -891,6 +1034,13 @@ def build_parser() -> argparse.ArgumentParser:
         " (default: $REPRO_TOKEN)",
     )
     sweep_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record an end-to-end trace of the run (client, service,"
+        " worker and per-phase spans) into this repro.metrics/2"
+        " database — sweep output bytes are unchanged; inspect with"
+        " 'repro trace show|top|slow --metrics PATH'",
+    )
+    sweep_parser.add_argument(
         "--verify", action="store_true",
         help="run the independent repro.verify oracle on every schedule"
         " the sweep produces (output bytes unchanged; an invalid"
@@ -1102,7 +1252,59 @@ def build_parser() -> argparse.ArgumentParser:
         " time series; default: metrics.sqlite inside --cache-dir,"
         " in-memory only without one)",
     )
+    serve_parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans for every request this daemon handles (not"
+        " just propagated ones) into the metrics database; response"
+        " bytes are unchanged",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="inspect persisted request traces (span trees, phase"
+        " breakdown, slowest spans) from repro.metrics/2 databases",
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    for action, description in (
+        ("show", "render the newest traces (or one trace) as span trees"),
+        ("top", "aggregate per-phase profile across every trace"),
+        ("slow", "the slowest spans, optionally of one layer"),
+    ):
+        action_parser = trace_sub.add_parser(action, help=description)
+        action_parser.add_argument(
+            "--metrics", metavar="PATH", action="append", default=None,
+            help="metrics database to read (repeatable; spans merge"
+            " across databases by trace_id)",
+        )
+        action_parser.add_argument(
+            "--cache-dir", metavar="DIR", action="append", default=None,
+            help="shard cache directory holding metrics.sqlite"
+            " (repeatable)",
+        )
+        action_parser.add_argument(
+            "--json", action="store_true",
+            help="print the full repro.trace/1 export instead of text",
+        )
+        if action == "show":
+            action_parser.add_argument(
+                "trace_id", nargs="?", default=None,
+                help="show only this trace (unambiguous id prefix ok)",
+            )
+        if action in ("show", "slow"):
+            action_parser.add_argument(
+                "--limit", type=int, default=10, metavar="N",
+                help="how many traces/spans to show (default 10)",
+            )
+        if action == "slow":
+            action_parser.add_argument(
+                "--layer", default=None,
+                choices=("client", "server", "service", "worker", "phase"),
+                help="restrict to one span layer",
+            )
+        action_parser.set_defaults(func=_cmd_trace)
 
     cluster_parser = sub.add_parser(
         "cluster",
@@ -1127,6 +1329,26 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument(
         "--json", action="store_true",
         help="print the raw aggregated document as JSON",
+    )
+    stats_parser.add_argument(
+        "--prune-older-than", type=float, default=None, metavar="DAYS",
+        help="instead of querying the cluster: delete metrics/trace"
+        " rows older than DAYS days from the named databases"
+        " (offline retention pruning; combine with --dry-run)",
+    )
+    stats_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --prune-older-than: report what would be deleted"
+        " without touching the databases",
+    )
+    stats_parser.add_argument(
+        "--metrics", metavar="PATH", action="append", default=None,
+        help="metrics database for --prune-older-than (repeatable)",
+    )
+    stats_parser.add_argument(
+        "--cache-dir", metavar="DIR", action="append", default=None,
+        help="shard cache directory holding metrics.sqlite for"
+        " --prune-older-than (repeatable)",
     )
     stats_parser.set_defaults(func=_cmd_cluster)
     top_parser = cluster_sub.add_parser(

@@ -42,6 +42,7 @@ import urllib.request
 
 from repro.api import CompilationResult, Pipeline
 from repro.faults import plan as faults
+from repro.trace import context as trace_context
 
 #: Environment variable naming the default server address.
 ENV_SERVER = "REPRO_SERVER"
@@ -250,6 +251,18 @@ class _LineClient(_BaseClient):
     def _call(
         self, op: str, deadline_ms: float | None = None, **fields
     ) -> dict:
+        # when tracing is on (and the op is traceable) this opens a
+        # client.<op> span and propagates its context on the line's
+        # "trace" envelope field; otherwise wire is None and the
+        # request bytes are exactly the untraced ones
+        with trace_context.client_scope(op) as wire:
+            if wire is not None:
+                fields = dict(fields, trace=wire)
+            return self._call_inner(op, deadline_ms, **fields)
+
+    def _call_inner(
+        self, op: str, deadline_ms: float | None = None, **fields
+    ) -> dict:
         self._next_id += 1
         message = {"op": op, "id": self._next_id, **fields}
         if deadline_ms is not None:
@@ -401,6 +414,15 @@ class HTTPClient(_BaseClient):
     def _call(
         self, path: str, payload=None, deadline_ms: float | None = None
     ) -> dict:
+        with trace_context.client_scope(path.lstrip("/")) as wire:
+            return self._call_inner(
+                path, payload, deadline_ms=deadline_ms, trace_wire=wire
+            )
+
+    def _call_inner(
+        self, path: str, payload=None, deadline_ms: float | None = None,
+        trace_wire: dict | None = None,
+    ) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {}
@@ -409,6 +431,10 @@ class HTTPClient(_BaseClient):
             headers["Content-Type"] = "application/json"
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        if trace_wire is not None:
+            headers["X-Repro-Trace"] = json.dumps(
+                trace_wire, sort_keys=True
+            )
         timeout = self.timeout
         if deadline_ms is not None:
             headers["X-Repro-Deadline-Ms"] = f"{deadline_ms:g}"

@@ -46,6 +46,7 @@ from repro.client import (
 from repro.faults import plan as faults
 from repro.cluster.ring import HashRing
 from repro.sched.cache import CacheStats, compile_request_key
+from repro.trace import context as trace_context
 
 __all__ = ["ClusterClient", "parse_addresses"]
 
@@ -183,6 +184,19 @@ class ClusterClient:
                 probes.add(address)
         if not candidates:
             candidates = list(route)
+        # One trace for the whole routed call, however many fail-over
+        # hops it takes: every hop activates the same root context with
+        # its hop index stamped in, so the shard-side server spans (and
+        # everything under them) share one trace_id and record which
+        # hop served them.
+        root = None
+        if trace_context.enabled():
+            parent = trace_context.current()
+            root = (
+                parent.child() if parent is not None
+                else trace_context.new_trace()
+            )
+        started = time.perf_counter()
         last_error: Exception | None = None
         for position, address in enumerate(candidates):
             try:
@@ -194,11 +208,23 @@ class ClusterClient:
                     )
                 client = self._client(address, probe=address in probes)
                 with self._client_locks[address]:
-                    result = call(client)
+                    if root is not None:
+                        with trace_context.activate(
+                            root.with_hop(position)
+                        ):
+                            result = call(client)
+                    else:
+                        result = call(client)
             except Exception as error:
                 if not self._failover_eligible(error):
                     raise
                 last_error = error
+                if root is not None:
+                    trace_context.record_span(
+                        "cluster.failover", "client", 0.0,
+                        context=root.with_hop(position).child(),
+                        attrs={"shard": address, "hop": position},
+                    )
                 self._drop(address)
                 continue
             with self._lock:
@@ -208,6 +234,13 @@ class ClusterClient:
                 if address in self._down:
                     del self._down[address]
                     self.recoveries += 1
+            if root is not None:
+                trace_context.record_span(
+                    "cluster.route", "client",
+                    (time.perf_counter() - started) * 1000.0,
+                    context=root.with_hop(position),
+                    attrs={"shard": address, "hops": position},
+                )
             return result
         raise ClientError(
             f"no cluster shard reachable for key {key[:40]!r}..."

@@ -46,6 +46,7 @@ from repro.graph.ddg import DDG, DepKind, Edge, EdgeKind, Node
 from repro.ir.loop import ArrayRef
 from repro.ir.operations import Opcode
 from repro.lifetimes.lifetime import Lifetime
+from repro.trace.profile import phase
 
 
 @dataclass(frozen=True)
@@ -70,9 +71,10 @@ def apply_spill(
     ``fuse`` and ``mark_non_spillable`` exist for the ablation experiments;
     the paper requires both on (Section 4.3).
     """
-    if lifetime.is_invariant:
-        return _spill_invariant(ddg, lifetime, fuse, mark_non_spillable)
-    return _spill_variant(ddg, lifetime, fuse, mark_non_spillable)
+    with phase("spill"):
+        if lifetime.is_invariant:
+            return _spill_invariant(ddg, lifetime, fuse, mark_non_spillable)
+        return _spill_variant(ddg, lifetime, fuse, mark_non_spillable)
 
 
 # ----------------------------------------------------------------------

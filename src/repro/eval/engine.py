@@ -69,6 +69,7 @@ from repro.sched import store as sched_store
 from repro.sched.base import ModuloScheduler
 from repro.sched.cache import STATS, CacheStats, schedule_memo
 from repro.sched.schedule import Schedule
+from repro.trace import profile as trace_profile
 from repro.workloads.suite import Workload
 
 __all__ = [
@@ -292,7 +293,11 @@ def evaluate_cell(cell: Cell) -> CellResult:
         faults.maybe_hang("pool.hang_cell")
     before = STATS.snapshot()
     started = time.perf_counter()
-    data = _EVALUATORS[cell.kind](cell)
+    with trace_profile.profiled_span(
+        "cell", "worker",
+        attrs={"workload": cell.workload, "kind": cell.kind},
+    ):
+        data = _EVALUATORS[cell.kind](cell)
     if faults.enabled():
         faults.maybe_kill("pool.kill_after_cell")
     return CellResult(

@@ -59,6 +59,9 @@ SEAMS = frozenset(
         # cluster layer
         "cluster.shard_error",
         "cluster.auth_flap",
+        # metrics layer (the recorder degrades instead of failing)
+        "metrics.put_io",
+        "metrics.db_locked",
     }
 )
 

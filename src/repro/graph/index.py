@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.ddg import DDG, DepKind
+from repro.trace.profile import phase
 
 
 @dataclass
@@ -124,6 +125,11 @@ class DDGIndex:
     @classmethod
     def build(cls, ddg: DDG) -> "DDGIndex":
         """Compile *ddg*'s current content into a frozen index."""
+        with phase("index_build"):
+            return cls._build(ddg)
+
+    @classmethod
+    def _build(cls, ddg: DDG) -> "DDGIndex":
         WORK.index_builds += 1
         self = cls()
         names = tuple(ddg.nodes)

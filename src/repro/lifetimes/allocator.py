@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.graph.index import WORK
 from repro.lifetimes.lifetime import Lifetime, variant_lifetimes
 from repro.lifetimes.maxlive import _pattern_from, max_live
+from repro.trace.profile import phase
 from repro.sched.schedule import Schedule
 
 
@@ -105,6 +106,22 @@ def allocate_arrays(
 ) -> AllocationResult:
     """Array-level entry point: allocate parallel value/start/length
     vectors (every length > 0) against *live_bound*."""
+    with phase("allocation"):
+        return _allocate_arrays(
+            loop_name, ii, values, starts, lengths, live_bound,
+            max_registers,
+        )
+
+
+def _allocate_arrays(
+    loop_name: str,
+    ii: int,
+    values: list[str],
+    starts: list[int],
+    lengths: list[int],
+    live_bound: int,
+    max_registers: int | None,
+) -> AllocationResult:
     if not values:
         return AllocationResult(registers=0, max_live=0)
     ceiling = max_registers

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.lifetimes.allocator import allocate_arrays
 from repro.lifetimes.maxlive import _pattern_from
 from repro.sched.schedule import Schedule
+from repro.trace.profile import phase
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,11 @@ def register_requirements(schedule: Schedule, exact: bool = True) -> RegisterRep
 
 
 def _measure(schedule: Schedule, exact: bool) -> RegisterReport:
+    with phase("lifetimes"):
+        return _measure_impl(schedule, exact)
+
+
+def _measure_impl(schedule: Schedule, exact: bool) -> RegisterReport:
     from repro.lifetimes.index import variant_arrays
 
     varr = variant_arrays(schedule)

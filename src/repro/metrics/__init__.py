@@ -1,29 +1,37 @@
-"""Persistent service metrics: time-series counters and latency
-histograms in SQLite.
+"""Persistent service metrics: time-series counters, latency
+histograms, and trace spans in SQLite.
 
-The layer has two halves, mirroring the monitoring/metrics + db split
+The layer has three pieces, mirroring the monitoring/metrics + db split
 this repo's ROADMAP cites:
 
 * :mod:`repro.metrics.db` — :class:`MetricsDB`, the SQLite access layer
-  (schema ``repro.metrics/1``): append-only ``counters`` and
-  ``latencies`` tables, one row per flushed interval, safe for many
-  readers while one daemon writes;
+  (schema ``repro.metrics/2``): append-only ``counters``, ``latencies``
+  and ``spans`` tables, one row per flushed interval / finished span,
+  safe for many readers while one daemon writes;
 * :mod:`repro.metrics.recorder` — :class:`MetricsRecorder` and
   :class:`LatencyHistogram`, the in-memory accumulation side: cheap
-  thread-safe ``count()``/``observe()`` on the hot path, periodic
-  flushes of interval deltas into the database.
+  thread-safe ``count()``/``observe()``/``record_spans()`` on the hot
+  path, periodic flushes of interval deltas into the database, and
+  bounded-buffer degradation when the database write fails (the
+  ``metrics.put_io`` / ``metrics.db_locked`` fault seams);
+* :mod:`repro.metrics.prom` — the Prometheus text exposition behind the
+  daemon's ``/metrics`` endpoint, plus the strict parser the tests and
+  CI use to validate it.
 
 ``repro serve`` wires a recorder into every
 :class:`repro.server.service.CompileService`; with ``--cache-dir`` the
 database lives at ``<cache-dir>/metrics.sqlite`` (see
 :func:`metrics_path`), so the same directory that holds a shard's
 schedule store also holds its observability history.  ``repro cluster
-top`` reads the database back.
+top`` reads the database back; ``repro trace`` reads the spans;
+``repro cluster stats --prune-older-than`` ages all three tables out.
 """
 
 from repro.metrics.db import DB_FILENAME, MetricsDB, metrics_path, percentile
+from repro.metrics.prom import parse_text, render_prometheus
 from repro.metrics.recorder import (
     BUCKET_BOUNDS_MS,
+    SPAN_PENDING_CAP,
     LatencyHistogram,
     MetricsRecorder,
 )
@@ -34,6 +42,9 @@ __all__ = [
     "LatencyHistogram",
     "MetricsDB",
     "MetricsRecorder",
+    "SPAN_PENDING_CAP",
     "metrics_path",
+    "parse_text",
     "percentile",
+    "render_prometheus",
 ]

@@ -1,0 +1,140 @@
+"""Prometheus text exposition (format 0.0.4) for the daemon.
+
+:func:`render_prometheus` turns a recorder's counter totals, a few
+service gauges, and the per-op latency histograms into the plain-text
+format Prometheus scrapes — cumulative ``_bucket`` counts with the
+``+Inf`` bound, plus ``_sum``/``_count`` per histogram.  The output is
+deterministic for a given snapshot (sorted names, sorted labels), so
+tests can compare it structurally.
+
+:func:`parse_text` is the matching strict validator used by the tests
+and the CI trace-smoke job: it parses an exposition document back into
+``{"name{labels}": value}`` and raises :class:`ValueError` on any line
+that is not a comment, blank, or well-formed sample.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+PREFIX = "repro"
+
+
+def _sanitize(name: str) -> str:
+    """A metric-name-safe rendering of internal counter names
+    (``cache.hit`` → ``cache_hit``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}" if cleaned else "_"
+    return cleaned
+
+
+def _format_value(value) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def render_prometheus(
+    counters: dict[str, int],
+    gauges: dict[str, float] | None = None,
+    histograms: dict[str, dict] | None = None,
+) -> str:
+    """The ``/metrics`` document.
+
+    *counters* are lifetime totals (rendered as ``repro_<name>_total``);
+    *gauges* are instantaneous values (``repro_<name>``); *histograms*
+    is the :meth:`MetricsRecorder.histogram_snapshot` shape — per op,
+    ``{"buckets": {bound_ms: count}, "sum_ms": ..., "count": ...}`` —
+    rendered as one shared ``repro_latency_milliseconds`` histogram
+    family with an ``op`` label.
+    """
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = f"{PREFIX}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges or {}):
+        metric = f"{PREFIX}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    if histograms:
+        family = f"{PREFIX}_latency_milliseconds"
+        lines.append(f"# TYPE {family} histogram")
+        for op in sorted(histograms):
+            entry = histograms[op]
+            label = op.replace("\\", "\\\\").replace('"', '\\"')
+            cumulative = 0
+            for bound in sorted(entry["buckets"]):
+                cumulative += entry["buckets"][bound]
+                lines.append(
+                    f'{family}_bucket{{op="{label}",'
+                    f'le="{_format_bound(bound)}"}} {cumulative}'
+                )
+            lines.append(
+                f'{family}_sum{{op="{label}"}}'
+                f" {_format_value(entry['sum_ms'])}"
+            )
+            lines.append(
+                f'{family}_count{{op="{label}"}}'
+                f" {_format_value(entry['count'])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_text(text: str) -> dict[str, float]:
+    """Strictly parse an exposition document back into
+    ``{"name" or "name{labels}": value}`` — the validator behind the
+    acceptance check "``/metrics`` serves valid Prometheus text"."""
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SAMPLE.match(stripped)
+        if match is None:
+            raise ValueError(f"malformed sample on line {lineno}: {line!r}")
+        labels = match.group("labels")
+        if labels is not None:
+            for part in filter(None, labels.split(",")):
+                if _LABEL.match(part.strip()) is None:
+                    raise ValueError(
+                        f"malformed label on line {lineno}: {part!r}"
+                    )
+        raw = match.group("value")
+        try:
+            if raw == "+Inf":
+                value = math.inf
+            elif raw == "-Inf":
+                value = -math.inf
+            else:
+                value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"malformed value on line {lineno}: {raw!r}"
+            ) from None
+        key = match.group("name")
+        if labels is not None:
+            key += "{" + labels + "}"
+        if key in samples:
+            raise ValueError(f"duplicate sample on line {lineno}: {key}")
+        samples[key] = value
+    return samples

@@ -12,14 +12,28 @@ Latencies accumulate into fixed log-spaced millisecond buckets
 (:data:`BUCKET_BOUNDS_MS`), so histograms from different shards, flush
 intervals or daemon lifetimes merge by plain addition — which is how
 ``repro cluster top`` and the cluster-aggregated stats combine them.
+
+Trace spans ride the same flush cadence: :meth:`record_spans` buffers
+finished spans (bounded, drop-oldest) and :meth:`flush` appends them to
+the ``spans`` table.  A failed flush — disk trouble, a locked database,
+or the ``metrics.put_io`` / ``metrics.db_locked`` fault seams — never
+propagates: the unwritten interval folds back into the pending state
+(within the span cap) and the recorder marks itself *degraded* until a
+later flush succeeds, so a metrics outage costs telemetry, not compile
+requests.
 """
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 import time
 
 from repro.metrics.db import MetricsDB, percentile
+
+#: Bounded size of the recorder's pending-span buffer; overflow drops
+#: the oldest spans first.
+SPAN_PENDING_CAP = 4096
 
 #: Histogram bucket upper bounds, in milliseconds (log-spaced, with an
 #: open-ended overflow bucket).  Shared by every recorder so histograms
@@ -104,8 +118,13 @@ class MetricsRecorder:
         self._histograms: dict[str, LatencyHistogram] = {}
         self._pending_counters: dict[str, int] = {}
         self._pending_histograms: dict[str, LatencyHistogram] = {}
+        self._pending_spans: list[dict] = []
+        self._spans_total = 0
+        self._spans_dropped = 0
         self._last_flush = time.time()
         self._closed = False
+        self.degraded = False
+        self.write_errors = 0
 
     # ------------------------------------------------------------------
     # the hot path
@@ -131,22 +150,76 @@ class MetricsRecorder:
                     histogram = table[op] = LatencyHistogram()
                 histogram.observe_ms(ms)
 
+    def record_spans(self, spans) -> None:
+        """Buffer finished trace spans for the next flush (bounded:
+        beyond :data:`SPAN_PENDING_CAP` the oldest are dropped)."""
+        spans = list(spans)
+        if not spans:
+            return
+        with self._lock:
+            self._pending_spans.extend(spans)
+            self._spans_total += len(spans)
+            overflow = len(self._pending_spans) - SPAN_PENDING_CAP
+            if overflow > 0:
+                del self._pending_spans[:overflow]
+                self._spans_dropped += overflow
+
     # ------------------------------------------------------------------
     # persistence
     def flush(self) -> None:
         """Write the pending interval to the database (no-op without
-        one — the pending state is still cleared, keeping memory flat)."""
+        one — the pending state is still cleared, keeping memory flat).
+
+        A database failure degrades instead of raising: the unwritten
+        portion folds back into the pending state for a later retry."""
         with self._lock:
             counters = self._pending_counters
             histograms = self._pending_histograms
+            spans = self._pending_spans
             self._pending_counters = {}
             self._pending_histograms = {}
+            self._pending_spans = []
             self._last_flush = time.time()
-        if self.db is not None and (counters or histograms):
-            self.db.record(
-                counters,
-                {op: h.as_bounds_dict() for op, h in histograms.items()},
-            )
+        if self.db is None:
+            return
+        try:
+            if counters or histograms:
+                self.db.record(
+                    counters,
+                    {op: h.as_bounds_dict()
+                     for op, h in histograms.items()},
+                )
+            counters = histograms = None  # written (or empty)
+            if spans:
+                self.db.record_spans(spans)
+            spans = None
+        except (sqlite3.Error, OSError):
+            # Fold whatever did not make it to disk back into pending;
+            # compile requests must never fail on a metrics outage.
+            with self._lock:
+                self.write_errors += 1
+                self.degraded = True
+                if counters:
+                    for name, value in counters.items():
+                        self._pending_counters[name] = (
+                            self._pending_counters.get(name, 0) + value
+                        )
+                if histograms:
+                    for op, histogram in histograms.items():
+                        pending = self._pending_histograms.get(op)
+                        if pending is None:
+                            self._pending_histograms[op] = histogram
+                        else:
+                            pending.merge(histogram)
+                if spans:
+                    self._pending_spans[:0] = spans
+                    overflow = len(self._pending_spans) - SPAN_PENDING_CAP
+                    if overflow > 0:
+                        del self._pending_spans[:overflow]
+                        self._spans_dropped += overflow
+        else:
+            with self._lock:
+                self.degraded = False
 
     def maybe_flush(self) -> None:
         """Flush if the interval has elapsed (the dispatch-loop hook)."""
@@ -169,9 +242,34 @@ class MetricsRecorder:
         with self._lock:
             return {
                 "persisted": self.db is not None,
+                "degraded": self.degraded,
+                "write_errors": self.write_errors,
                 "counters": dict(sorted(self._totals.items())),
                 "latency": {
                     op: histogram.summary()
                     for op, histogram in sorted(self._histograms.items())
                 },
+                "spans": {
+                    "pending": len(self._pending_spans),
+                    "recorded": self._spans_total,
+                    "dropped": self._spans_dropped,
+                },
+            }
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Lifetime counter totals (the ``/metrics`` exporter's view)."""
+        with self._lock:
+            return dict(self._totals)
+
+    def histogram_snapshot(self) -> dict[str, dict]:
+        """Per-op lifetime histograms as plain data:
+        ``{op: {"buckets": {bound_ms: count}, "sum_ms": ..., "count": ...}}``."""
+        with self._lock:
+            return {
+                op: {
+                    "buckets": histogram.as_bounds_dict(),
+                    "sum_ms": histogram.sum_ms,
+                    "count": histogram.count,
+                }
+                for op, histogram in self._histograms.items()
             }

@@ -210,6 +210,52 @@ def worker_stats(timeout: float = 10.0) -> dict:
     }
 
 
+def _drain_spans_probe(delay: float) -> tuple:
+    """Runs inside one pool worker: its pid plus everything in its
+    process-local trace-span buffer (taken, so spans are collected at
+    most once)."""
+    import os
+    import time
+
+    from repro.trace import context as trace_context
+
+    time.sleep(delay)
+    return os.getpid(), trace_context.drain_spans()
+
+
+def drain_worker_spans(timeout: float = 10.0) -> list[dict]:
+    """Collect the buffered trace spans out of every persistent-pool
+    worker (the service does this before flushing its recorder).
+
+    Same bounded-rounds pid coverage as :func:`worker_stats`; with no
+    pool alive (or ``jobs <= 1`` — in-process compilation, where spans
+    land in the parent's own buffer) this returns ``[]``.
+    """
+    if _POOL is None or _POOL_KEY is None or _POOL_KEY[0] <= 1:
+        return []
+    jobs = _POOL_KEY[0]
+    try:
+        expected = set(_POOL._processes or {})
+    except AttributeError:  # pragma: no cover - stdlib internals moved
+        expected = set()
+    collected: list[dict] = []
+    seen: set[int] = set()
+    for _ in range(5):
+        futures = [
+            _POOL.submit(_drain_spans_probe, 0.02) for _ in range(jobs)
+        ]
+        for future in futures:
+            try:
+                pid, spans = future.result(timeout=timeout)
+            except Exception:  # a dying worker must not break the drain
+                continue
+            seen.add(pid)
+            collected.extend(spans)
+        if not expected or expected <= seen:
+            break
+    return collected
+
+
 def pool_stats() -> dict:
     """Telemetry snapshot of the persistent pool (the server's
     ``/stats`` endpoint): whether one is alive, its width, and the

@@ -50,6 +50,7 @@ from repro.graph.ddg import DDG
 from repro.machine.machine import MachineConfig
 from repro.sched import store as _store_mod
 from repro.sched.mii import compute_mii
+from repro.trace.profile import phase
 
 _MAX_ENTRIES = 4096
 
@@ -361,7 +362,8 @@ def cached_mii(ddg: DDG, machine: MachineConfig) -> int:
     """``compute_mii`` memoized on ``(graph content, machine)``, read
     through the persistent store when one is active."""
     if not _enabled:
-        return compute_mii(ddg, machine)
+        with phase("mii"):
+            return compute_mii(ddg, machine)
     key = (ddg_fingerprint(ddg), machine_key(machine))
     hit = _mii_cache.get(key)
     if hit is not None:
@@ -373,7 +375,8 @@ def cached_mii(ddg: DDG, machine: MachineConfig) -> int:
         mii = stored
     else:
         STATS.mii_misses += 1
-        mii = compute_mii(ddg, machine)
+        with phase("mii"):
+            mii = compute_mii(ddg, machine)
         _store_put("mii", key, mii)
     if len(_mii_cache) >= _MAX_ENTRIES:
         _mii_cache.pop(next(iter(_mii_cache)))
@@ -418,7 +421,10 @@ class ScheduleMemo:
         from repro.sched.base import ScheduleError
 
         if not _enabled:
-            return scheduler.schedule(ddg, machine, min_ii=min_ii, max_ii=max_ii)
+            with phase("schedule"):
+                return scheduler.schedule(
+                    ddg, machine, min_ii=min_ii, max_ii=max_ii
+                )
         key = (
             ddg_fingerprint(ddg),
             machine_key(machine),
@@ -446,9 +452,10 @@ class ScheduleMemo:
         self.stats.schedule_misses += 1
         STATS.schedule_misses += 1
         try:
-            schedule = scheduler.schedule(
-                ddg, machine, min_ii=min_ii, max_ii=max_ii
-            )
+            with phase("schedule"):
+                schedule = scheduler.schedule(
+                    ddg, machine, min_ii=min_ii, max_ii=max_ii
+                )
         except ScheduleError as error:
             self._remember(key, _MemoEntry(ddg, key[0], None, str(error)))
             raise
@@ -468,7 +475,8 @@ class ScheduleMemo:
         ``(graph, machine, II)`` points for every register budget — the
         attempt outcome does not depend on the budget, so they share."""
         if not _enabled:
-            return scheduler.try_schedule_at(ddg, machine, ii)
+            with phase("schedule"):
+                return scheduler.try_schedule_at(ddg, machine, ii)
         key = (
             ddg_fingerprint(ddg),
             machine_key(machine),
@@ -489,7 +497,8 @@ class ScheduleMemo:
             return stored.schedule
         self.stats.schedule_misses += 1
         STATS.schedule_misses += 1
-        schedule = scheduler.try_schedule_at(ddg, machine, ii)
+        with phase("schedule"):
+            schedule = scheduler.try_schedule_at(ddg, machine, ii)
         self._remember(key, _MemoEntry(ddg, key[0], schedule, None))
         return schedule
 

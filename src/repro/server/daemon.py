@@ -18,9 +18,14 @@ framing:
   endpoint: ``POST /compile`` and ``POST /compile_many`` take the same
   request mappings, ``POST /cells`` evaluates routed engine cells,
   ``GET /healthz`` and ``GET /stats`` expose the service telemetry,
-  ``POST /shutdown`` stops the daemon.  With a token configured, every
+  ``GET /metrics`` serves the Prometheus text exposition, ``POST
+  /shutdown`` stops the daemon.  With a token configured, every
   endpoint except ``GET /healthz`` (liveness probes stay cheap and
   credential-free) requires ``Authorization: Bearer <token>``.
+  Compile requests may carry a propagated trace context in an
+  ``X-Repro-Trace`` header (the JSON of
+  :meth:`repro.trace.TraceContext.to_wire`); the line protocol's
+  equivalent is the ``"trace"`` envelope field.
 
 :func:`serve` wires any combination to one service, prints one
 ``listening on ...`` line per transport to stderr (stdout belongs to
@@ -45,6 +50,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.faults import plan as faults
 from repro.server import protocol
 from repro.server.service import CompileService
+from repro.trace import context as trace_context
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +195,16 @@ class _HTTPHandler(BaseHTTPRequestHandler):
             self._send(200, service.healthz())
         elif self.path == "/stats":
             self._send(200, service.stats())
+        elif self.path == "/metrics":
+            body = service.prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type",
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
 
@@ -208,30 +224,35 @@ class _HTTPHandler(BaseHTTPRequestHandler):
                     raise ValueError(
                         "X-Repro-Deadline-Ms must be a number"
                     ) from None
+            # the optional propagated trace context (out-of-band, like
+            # the deadline): absent or malformed → untraced nullcontext
+            trace_header = self.headers.get("X-Repro-Trace")
             if self.path == "/compile":
                 request = self._body()
                 if not isinstance(request, dict):
                     raise ValueError("body must be one request mapping")
-                self._send(
-                    200,
-                    service.compile(
-                        request, deadline_ms=deadline_ms
-                    ).to_json(),
-                )
+                with trace_context.server_scope(trace_header, "compile"):
+                    result = service.compile(request, deadline_ms=deadline_ms)
+                self._send(200, result.to_json())
             elif self.path == "/compile_many":
                 requests = self._body()
                 if not isinstance(requests, list):
                     raise ValueError("body must be a list of mappings")
+                with trace_context.server_scope(
+                    trace_header, "compile_many"
+                ):
+                    results = service.compile_many(
+                        requests, deadline_ms=deadline_ms
+                    )
                 self._send(
-                    200,
-                    {"results": [r.to_json() for r in service.compile_many(
-                        requests, deadline_ms=deadline_ms)]},
+                    200, {"results": [r.to_json() for r in results]}
                 )
             elif self.path == "/cells":
                 cells = self._body()
                 if not isinstance(cells, list):
                     raise ValueError("body must be a list of cell mappings")
-                results, cache = service.evaluate_cells(cells)
+                with trace_context.server_scope(trace_header, "cells"):
+                    results, cache = service.evaluate_cells(cells)
                 self._send(200, {"results": results, "cache": cache})
             elif self.path == "/shutdown":
                 self._send(200, {"shutdown": True})

@@ -48,6 +48,8 @@ from __future__ import annotations
 import hmac
 import json
 
+from repro.trace import context as trace_context
+
 PROTOCOL_SCHEMA = "repro.server/1"
 
 #: Operations a protocol line may carry.
@@ -151,13 +153,19 @@ def handle_line(
     if not check_token(message.get("token"), token):
         return error_response(request_id, UNAUTHORIZED)
     op = message.get("op")
+    # The optional out-of-band "trace" envelope field: requests arriving
+    # with a (valid) propagated trace context are recorded under a
+    # server.<op> span whatever this daemon's own tracing switch says.
+    # Response bytes are unaffected — server_scope is a nullcontext when
+    # the field is absent or malformed.
     try:
         if op == "compile":
             request = message.get("request")
             if not isinstance(request, dict):
                 raise ValueError("'compile' needs a 'request' mapping")
             deadline_ms = parse_deadline_ms(message)
-            result = service.compile(request, deadline_ms=deadline_ms)
+            with trace_context.server_scope(message.get("trace"), op):
+                result = service.compile(request, deadline_ms=deadline_ms)
             return ok_response(request_id, result=result.to_json())
         if op == "compile_many":
             requests = message.get("requests")
@@ -168,7 +176,10 @@ def handle_line(
                     "'compile_many' needs a 'requests' list of mappings"
                 )
             deadline_ms = parse_deadline_ms(message)
-            results = service.compile_many(requests, deadline_ms=deadline_ms)
+            with trace_context.server_scope(message.get("trace"), op):
+                results = service.compile_many(
+                    requests, deadline_ms=deadline_ms
+                )
             return ok_response(
                 request_id, results=[result.to_json() for result in results]
             )
@@ -178,7 +189,8 @@ def handle_line(
                 isinstance(cell, dict) for cell in cells
             ):
                 raise ValueError("'cells' needs a 'cells' list of mappings")
-            results, cache = service.evaluate_cells(cells)
+            with trace_context.server_scope(message.get("trace"), op):
+                results, cache = service.evaluate_cells(cells)
             return ok_response(request_id, results=results, cache=cache)
         if op == "stats":
             return ok_response(request_id, stats=service.stats())

@@ -54,8 +54,10 @@ from repro import pool as worker_pool_mod
 from repro.api import Pipeline
 from repro.graph.index import WORK
 from repro.metrics import MetricsRecorder
+from repro.metrics.prom import render_prometheus
 from repro.sched import store as sched_store
 from repro.sched.cache import STATS, CacheStats, compile_request_key
+from repro.trace import context as trace_context
 
 STATS_SCHEMA = "repro.server-stats/2"
 HEALTH_SCHEMA = "repro.server-health/1"
@@ -85,12 +87,17 @@ class ServiceTimeout(TimeoutError):
 class _Inflight:
     """One queued-or-executing unique request and its shared future."""
 
-    __slots__ = ("future", "request", "deadline")
+    __slots__ = ("future", "request", "deadline", "trace", "enqueued")
 
     def __init__(self, request: dict, deadline: float | None = None) -> None:
         self.future: Future = Future()
         self.request = request
         self.deadline = deadline
+        # the submitting thread's propagated trace context (set under
+        # the protocol's server span), if any — queue/batch spans and
+        # the worker compile span all hang off it
+        self.trace = trace_context.current()
+        self.enqueued = time.perf_counter()
 
 
 class CompileService:
@@ -164,6 +171,9 @@ class CompileService:
         self.cell_batches_total = 0
         self.shed_total = 0
         self.timeouts_total = 0
+        # whether any traced request ever reached a batch — gates the
+        # (pool-probing) worker span drain so untraced daemons never pay
+        self._traced_seen = False
         if self.jobs > 1:
             # warm the shared pool under this pipeline's store so the
             # first batch pays no worker spin-up
@@ -195,10 +205,14 @@ class CompileService:
         :class:`ServiceShuttingDown` while already-queued and in-flight
         work still completes.  ``repro serve`` drains on SIGTERM and
         only then tears the transports down, so a graceful stop never
-        drops accepted work."""
+        drops accepted work.  The metrics recorder (and any buffered
+        trace spans) flush here, so a SIGTERM'd shard never loses its
+        final interval."""
         with self._lock:
             self._draining = True
             self._lock.notify_all()
+        self._flush_spans(collect_workers=True)
+        self.metrics.flush()
 
     def wait_idle(self, timeout: float = 30.0) -> bool:
         """Block until no work is queued or in flight (or *timeout*
@@ -222,6 +236,7 @@ class CompileService:
             self._lock.notify_all()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=30)
+        self._flush_spans(collect_workers=True)
         self.metrics.close()
 
     def __enter__(self) -> "CompileService":
@@ -286,6 +301,15 @@ class CompileService:
             if entry is not None:
                 self.coalesced_total += 1
                 self.metrics.count("coalesced")
+                # the joiner's own trace still shows where its request
+                # went: a zero-duration marker pointing at the shared
+                # computation
+                if trace_context.current() is not None:
+                    trace_context.record_span(
+                        "service.coalesce", "service", 0.0,
+                        attrs={"joined": entry.trace.trace_id
+                               if entry.trace is not None else None},
+                    )
                 # a coalesced joiner must never shorten the shared
                 # computation's life: keep the most permissive deadline
                 if entry.deadline is not None and (
@@ -407,11 +431,27 @@ class CompileService:
                 )
             if batch:
                 self._run_batch(batch)
+            self._flush_spans(collect_workers=False)
             self.metrics.maybe_flush()
 
     def _run_batch(self, batch: list[tuple]) -> None:
-        requests = [entry.request for _, entry in batch]
         started = time.perf_counter()
+        requests = []
+        for _, entry in batch:
+            if entry.trace is not None:
+                self._traced_seen = True
+                # queue wait: enqueue to batch dispatch
+                trace_context.record_span(
+                    "service.queue", "service",
+                    (started - entry.enqueued) * 1000.0,
+                    context=entry.trace.child(),
+                )
+                # hand the context to the (possibly pooled) compile
+                request = dict(entry.request)
+                request["trace"] = entry.trace.to_wire()
+                requests.append(request)
+            else:
+                requests.append(entry.request)
         cache_before = STATS.snapshot()
         try:
             results = self.pipeline.compile_many(requests, jobs=self.jobs)
@@ -429,7 +469,15 @@ class CompileService:
             self.compiled_total += len(batch)
             for key, _ in batch:
                 self._inflight.pop(key, None)
-        self.metrics.observe("batch", time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        for _, entry in batch:
+            if entry.trace is not None:
+                trace_context.record_span(
+                    "service.batch", "service", elapsed * 1000.0,
+                    context=entry.trace.child(),
+                    attrs={"batch": len(batch)},
+                )
+        self.metrics.observe("batch", elapsed)
         self.metrics.count("batches")
         self.metrics.count("batch_requests", len(batch))
         self._record_cache_movement(STATS.delta(cache_before))
@@ -443,6 +491,27 @@ class CompileService:
             f"cache_{name}": value
             for name, value in delta.as_dict().items()
         })
+
+    def _flush_spans(self, collect_workers: bool) -> None:
+        """Move finished trace spans into the metrics recorder.
+
+        The local buffer drain is one lock acquisition — cheap enough
+        for every dispatch-loop pass.  *collect_workers* additionally
+        probes the pool workers' buffers (drain/close/stats only, and
+        only when tracing was ever in play — the probe submits pool
+        tasks)."""
+        spans = trace_context.drain_spans()
+        if (
+            collect_workers
+            and self.jobs > 1
+            and (self._traced_seen or trace_context.tracing_enabled())
+        ):
+            try:
+                spans.extend(worker_pool_mod.drain_worker_spans())
+            except Exception:
+                pass  # a broken pool must not break shutdown/stats
+        if spans:
+            self.metrics.record_spans(spans)
 
     # ------------------------------------------------------------------
     # routed experiment-engine cells (``repro sweep --connect``)
@@ -486,6 +555,12 @@ class CompileService:
             cache_before = STATS.snapshot()
             run = run_cells(cells, jobs=self.jobs)
             delta = STATS.delta(cache_before)
+        if trace_context.current() is not None:
+            trace_context.record_span(
+                "service.cells", "service",
+                (time.perf_counter() - started) * 1000.0,
+                attrs={"cells": len(cells)},
+            )
         self.metrics.observe("cells_batch", time.perf_counter() - started)
         self._record_cache_movement(delta)
         by_cell = {result.cell: result.data for result in run.results}
@@ -542,6 +617,7 @@ class CompileService:
         cache_total = dict(cache)
         for name, value in workers["cache"].items():
             cache_total[name] = cache_total.get(name, 0) + value
+        self._flush_spans(collect_workers=True)
         self.metrics.maybe_flush()
         return {
             "schema": STATS_SCHEMA,
@@ -556,6 +632,23 @@ class CompileService:
             "pool": worker_pool_mod.pool_stats(),
             "metrics": self.metrics.summary(),
         }
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` exposition document (text format 0.0.4):
+        the recorder's lifetime counters and latency histograms plus a
+        few instantaneous service gauges."""
+        with self._lock:
+            gauges = {
+                "queued": float(len(self._queue)),
+                "inflight": float(len(self._inflight)),
+                "jobs": float(self.jobs),
+            }
+        gauges["uptime_seconds"] = time.time() - self.started_at
+        return render_prometheus(
+            self.metrics.counter_snapshot(),
+            gauges,
+            self.metrics.histogram_snapshot(),
+        )
 
     def _aggregate_workers(self) -> dict:
         """The pool workers' summed cache/work counters (only probed

@@ -85,7 +85,7 @@ class TestSpecGrammar:
         # sites: every name is layer-dotted and unique
         assert all("." in seam for seam in SEAMS)
         layers = {seam.split(".")[0] for seam in SEAMS}
-        assert layers == {"pool", "store", "server", "cluster"}
+        assert layers == {"pool", "store", "server", "cluster", "metrics"}
 
 
 class TestTriggerSemantics:
